@@ -1,0 +1,76 @@
+// Command gbench-report renders a Markdown reproduction report: every
+// paper table/figure regenerated, side by side with the paper's
+// published values where the paper prints them, ready to paste into
+// EXPERIMENTS.md or a CI artifact.
+//
+// Usage:
+//
+//	gbench-report > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		size = flag.String("size", "small", "dataset size for measured tables")
+		seed = flag.Int64("seed", 42, "dataset seed")
+	)
+	flag.Parse()
+	sz, err := core.ParseSize(*size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("# GenomicsBench-Go reproduction report\n\n")
+	fmt.Printf("Generated %s, dataset size %s, seed %d.\n\n",
+		time.Now().UTC().Format(time.RFC3339), sz, *seed)
+
+	// Headline comparisons with the paper's published values.
+	gpu := core.RunGPUKernels(*seed)
+	a, n := gpu[0], gpu[1]
+	profiles := core.MemoryProfiles(*seed)
+	byName := map[string]core.MemProfile{}
+	for _, p := range profiles {
+		byName[p.Name] = p
+	}
+
+	fmt.Println("## Headline comparison")
+	fmt.Println()
+	fmt.Println("| experiment | paper | this run |")
+	fmt.Println("|---|---|---|")
+	row := func(name, paper string, v float64, pct bool) {
+		if pct {
+			fmt.Printf("| %s | %s | %.1f%% |\n", name, paper, 100*v)
+		} else {
+			fmt.Printf("| %s | %s | %.1f |\n", name, paper, v)
+		}
+	}
+	row("abea warp efficiency", "75.09%", a.Metrics.WarpEfficiency(), true)
+	row("abea occupancy", "31.41%", a.Occupancy, true)
+	row("abea global load efficiency", "25.5%", a.Metrics.GlobalLoadEfficiency(), true)
+	row("nn-base warp efficiency", "100%", n.Metrics.WarpEfficiency(), true)
+	row("nn-base occupancy", "88.47%", n.Occupancy, true)
+	row("fmi BPKI", "66.8", byName["fmi"].Report.BPKI, false)
+	row("kmer-cnt BPKI", "484.1", byName["kmer-cnt"].Report.BPKI, false)
+	row("fmi stall cycles", "41.5%", byName["fmi"].Report.StallFraction, true)
+	row("kmer-cnt stall cycles", "69.2%", byName["kmer-cnt"].Report.StallFraction, true)
+	row("grm retiring slots", "87.7%", byName["grm"].TopDown.Retiring, true)
+	fmt.Println()
+
+	// Full tables as fenced blocks.
+	fmt.Println("## Regenerated tables and figures")
+	fmt.Println()
+	for _, t := range core.AllTables(sz, *seed) {
+		title := strings.SplitN(t.Title, ":", 2)[0]
+		fmt.Printf("### %s\n\n```\n%s```\n\n", title, t.String())
+	}
+}

@@ -1,0 +1,72 @@
+// Command gbench-tables regenerates the GenomicsBench paper's
+// evaluation tables and figures from the Go reproduction.
+//
+// Usage:
+//
+//	gbench-tables                 # everything
+//	gbench-tables -t gpu-control  # one table
+//
+// Table ids: config overview granularity gpu-control gpu-memory
+// vector-waste imbalance instmix bpki scaling cache topdown cache-sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		which = flag.String("t", "all", "table id (or 'all')")
+		size  = flag.String("size", "small", "dataset size for measured tables")
+		seed  = flag.Int64("seed", 42, "dataset seed")
+	)
+	flag.Parse()
+	sz, err := core.ParseSize(*size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	gen := map[string]func() *core.Table{
+		"config":      func() *core.Table { return core.TableI() },
+		"overview":    func() *core.Table { return core.TableII() },
+		"granularity": func() *core.Table { return core.TableIII(sz, *seed) },
+		"gpu-control": func() *core.Table { return core.TableIV(*seed) },
+		"gpu-memory":  func() *core.Table { return core.TableV(*seed) },
+		"vector-waste": func() *core.Table {
+			return core.VectorWaste(*seed)
+		},
+		"imbalance": func() *core.Table { return core.Fig4(sz, *seed) },
+		"instmix":   func() *core.Table { return core.Fig5(sz, *seed) },
+		"bpki":      func() *core.Table { return core.Fig6(*seed) },
+		"scaling": func() *core.Table {
+			t, _ := core.Fig7(sz, *seed, []int{1, 2, 4, 8})
+			return t
+		},
+		"cache":       func() *core.Table { return core.Fig8(*seed) },
+		"topdown":     func() *core.Table { return core.Fig9(*seed) },
+		"cache-sweep": func() *core.Table { return core.CacheSweepTable(*seed) },
+	}
+
+	if *which == "all" {
+		for _, t := range core.AllTables(sz, *seed) {
+			fmt.Println(t)
+		}
+		return
+	}
+	g, ok := gen[*which]
+	if !ok {
+		ids := make([]string, 0, len(gen))
+		for id := range gen {
+			ids = append(ids, id)
+		}
+		fmt.Fprintf(os.Stderr, "unknown table %q; have: %s\n", *which, strings.Join(ids, " "))
+		os.Exit(2)
+	}
+	fmt.Println(g())
+}

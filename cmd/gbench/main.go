@@ -1,0 +1,74 @@
+// Command gbench runs individual GenomicsBench kernels on the
+// small/large synthetic datasets and reports timing, operation mix and
+// per-task work statistics.
+//
+// Usage:
+//
+//	gbench -bench fmi -size small -threads 4 -seed 42
+//	gbench -bench all -size small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		benchName  = flag.String("bench", "all", "kernel name or 'all'")
+		sizeName   = flag.String("size", "small", "dataset size: small or large")
+		threads    = flag.Int("threads", 1, "worker threads")
+		seed       = flag.Int64("seed", 42, "dataset seed")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	)
+	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	size, err := core.ParseSize(*sizeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var benches []core.Benchmark
+	if *benchName == "all" {
+		benches = core.Benchmarks()
+	} else {
+		b, err := core.ByName(*benchName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		benches = []core.Benchmark{b}
+	}
+
+	t := &core.Table{
+		Title:   fmt.Sprintf("GenomicsBench (%s inputs, %d threads, seed %d)", size, *threads, *seed),
+		Columns: []string{"benchmark", "tool", "elapsed", "tasks", "ops", "mix"},
+	}
+	for _, b := range benches {
+		info := b.Info()
+		b.Prepare(size, *seed)
+		stats := b.Run(*threads)
+		t.AddRow(info.Name, info.Tool, stats.Elapsed.Round(1e5),
+			stats.TaskStats.Count(), stats.Counters.Total(), stats.Counters.String())
+		b.Release() // keep later kernels' GC cost independent of earlier datasets
+	}
+	fmt.Print(t)
+}

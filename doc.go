@@ -1,0 +1,8 @@
+// Package repro is GenomicsBench-Go: a from-scratch Go reproduction of
+// the GenomicsBench benchmark suite (Subramaniyan et al., ISPASS 2021).
+//
+// The twelve kernels live under internal/<kernel>; the suite driver and
+// experiment harness under internal/core; runnable binaries under cmd;
+// worked examples under examples. The package-level bench_test.go holds
+// one testing.B benchmark per paper table and figure.
+package repro

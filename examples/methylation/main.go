@@ -1,0 +1,77 @@
+// Methylation detection: the application ABEA serves in Nanopolish.
+//
+// A genome with a known set of methylated CpG sites is "sequenced"
+// through the pore model twice — once methylated, once not — and every
+// CpG site is called by comparing adaptive-banded event-alignment
+// likelihoods under the unmethylated versus 5mC pore models. The
+// example reports per-site accuracy against the planted truth.
+//
+// Run: go run ./examples/methylation
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/abea"
+	"repro/internal/genome"
+	"repro/internal/signalsim"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(41))
+	base := signalsim.NewPoreModel()
+	meth := abea.MethylatedModel(base)
+
+	// A CpG-island-like region: random backbone with CpG sites planted
+	// every ~60 bases.
+	seq := genome.Random(rng, 1200)
+	var cpgSites []int
+	for i := 30; i+1 < len(seq)-30; i += 60 {
+		seq[i], seq[i+1] = genome.C, genome.G
+		cpgSites = append(cpgSites, i)
+	}
+	fmt.Printf("region: %d bases, %d planted CpG sites\n", len(seq), len(cpgSites))
+
+	simCfg := signalsim.DefaultConfig()
+	simCfg.NoiseScale = 0.6
+	cfg := abea.DefaultConfig()
+	const threshold = 2.0
+
+	// Read 1: fully methylated molecule.
+	evMeth := signalsim.Simulate(rng, meth, seq, simCfg)
+	callsM := abea.CallMethylation(base, meth, seq, evMeth, cfg, threshold)
+	// Read 2: unmethylated molecule.
+	evUn := signalsim.Simulate(rng, base, seq, simCfg)
+	callsU := abea.CallMethylation(base, meth, seq, evUn, cfg, threshold)
+
+	tpM, total := 0, 0
+	var sumLLR float64
+	for _, c := range callsM {
+		total++
+		sumLLR += float64(c.LogLikRatio)
+		if c.Methylated {
+			tpM++
+		}
+	}
+	fmt.Printf("methylated read:   %d/%d sites called methylated (mean LLR %+.1f)\n",
+		tpM, total, sumLLR/float64(total))
+
+	fpU, totalU := 0, 0
+	sumLLR = 0
+	for _, c := range callsU {
+		totalU++
+		sumLLR += float64(c.LogLikRatio)
+		if c.Methylated {
+			fpU++
+		}
+	}
+	fmt.Printf("unmethylated read: %d/%d sites falsely called (mean LLR %+.1f)\n",
+		fpU, totalU, sumLLR/float64(totalU))
+
+	if tpM*2 > total && fpU*4 < totalU {
+		fmt.Println("verdict: event-level methylation signal cleanly separated")
+	} else {
+		fmt.Println("verdict: separation weak — try lowering signal noise")
+	}
+}

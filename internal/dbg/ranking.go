@@ -1,0 +1,94 @@
+package dbg
+
+import "repro/internal/genome"
+
+// Haplotype ranking: when a region assembles more candidate haplotypes
+// than the caller can afford to evaluate (each costs |R| PairHMM
+// alignments), Platypus ranks them by read support. The support score
+// of a haplotype is the minimum edge weight along its path — the
+// weakest link bounds how many reads could have produced it.
+
+// RankedHaplotype pairs a haplotype with its support score.
+type RankedHaplotype struct {
+	Seq     genome.Seq
+	Support int32 // minimum traversed edge weight
+}
+
+// RankHaplotypes scores each haplotype against the graph built from
+// the region (the same k as the assembly result) and returns them
+// sorted by descending support; the reference haplotype, if present,
+// is always ranked first regardless of score, as callers need it as
+// the baseline.
+func RankHaplotypes(rg *Region, res *Result) []RankedHaplotype {
+	if res.K <= 0 || len(res.Haplotypes) == 0 {
+		out := make([]RankedHaplotype, len(res.Haplotypes))
+		for i, h := range res.Haplotypes {
+			out[i] = RankedHaplotype{Seq: h}
+		}
+		return out
+	}
+	g := newGraph(res.K)
+	g.addSeq(rg.Ref, true)
+	for _, r := range rg.Reads {
+		g.addSeq(r, false)
+	}
+	ranked := make([]RankedHaplotype, 0, len(res.Haplotypes))
+	for _, h := range res.Haplotypes {
+		ranked = append(ranked, RankedHaplotype{Seq: h, Support: pathSupport(g, h)})
+	}
+	// Stable selection sort by descending support with the reference
+	// pinned first.
+	refIdx := -1
+	for i, r := range ranked {
+		if r.Seq.Equal(rg.Ref) {
+			refIdx = i
+			break
+		}
+	}
+	if refIdx > 0 {
+		ref := ranked[refIdx]
+		copy(ranked[1:refIdx+1], ranked[:refIdx])
+		ranked[0] = ref
+	}
+	start := 0
+	if refIdx >= 0 {
+		start = 1
+	}
+	for i := start; i < len(ranked); i++ {
+		best := i
+		for j := i + 1; j < len(ranked); j++ {
+			if ranked[j].Support > ranked[best].Support {
+				best = j
+			}
+		}
+		ranked[i], ranked[best] = ranked[best], ranked[i]
+	}
+	return ranked
+}
+
+// pathSupport walks a haplotype through the graph and returns the
+// minimum edge weight encountered (0 if any edge is missing).
+func pathSupport(g *graph, hap genome.Seq) int32 {
+	if len(hap) <= g.k {
+		return 0
+	}
+	support := int32(1 << 30)
+	code := genome.KmerCode(hap, 0, g.k)
+	for i := g.k; i < len(hap); i++ {
+		nd, ok := g.nodes[code]
+		g.lookups++
+		if !ok {
+			return 0
+		}
+		b := hap[i] & 3
+		w := nd.weight[b]
+		if w == 0 {
+			return 0
+		}
+		if w < support {
+			support = w
+		}
+		code = (code<<2 | uint64(b)) & g.mask
+	}
+	return support
+}

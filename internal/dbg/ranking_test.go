@@ -1,0 +1,87 @@
+package dbg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+)
+
+func TestRankHaplotypesReferenceFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := genome.Random(rng, 300)
+	alt := ref.Clone()
+	alt[150] = genome.Complement(alt[150])
+	// Alt has much deeper coverage than ref, yet ref ranks first.
+	reads := tileReads(ref, 100, 40)
+	reads = append(reads, tileReads(alt, 100, 5)...)
+	rg := &Region{Ref: ref, Reads: reads}
+	res := AssembleRegion(rg, DefaultConfig())
+	if len(res.Haplotypes) < 2 {
+		t.Fatalf("expected 2+ haplotypes, got %d", len(res.Haplotypes))
+	}
+	ranked := RankHaplotypes(rg, &res)
+	if !ranked[0].Seq.Equal(ref) {
+		t.Error("reference not pinned first")
+	}
+}
+
+func TestRankHaplotypesSupportOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := genome.Random(rng, 300)
+	altDeep := ref.Clone()
+	altDeep[100] = genome.Complement(altDeep[100])
+	altShallow := ref.Clone()
+	altShallow[200] = genome.Complement(altShallow[200])
+	reads := tileReads(ref, 100, 20)
+	reads = append(reads, tileReads(altDeep, 100, 8)...)     // deep support
+	reads = append(reads, tileReads(altShallow, 100, 35)...) // shallow support
+	rg := &Region{Ref: ref, Reads: reads}
+	cfg := DefaultConfig()
+	cfg.MaxHaplotypes = 8
+	res := AssembleRegion(rg, cfg)
+	ranked := RankHaplotypes(rg, &res)
+	var deepRank, shallowRank = -1, -1
+	for i, r := range ranked {
+		if r.Seq.Equal(altDeep) {
+			deepRank = i
+		}
+		if r.Seq.Equal(altShallow) {
+			shallowRank = i
+		}
+	}
+	if deepRank < 0 || shallowRank < 0 {
+		t.Skip("one alt haplotype pruned; support comparison unavailable")
+	}
+	if deepRank > shallowRank {
+		t.Errorf("deep-coverage haplotype ranked %d below shallow %d", deepRank, shallowRank)
+	}
+	for _, r := range ranked {
+		if !r.Seq.Equal(rg.Ref) && r.Support <= 0 {
+			t.Errorf("assembled haplotype has support %d", r.Support)
+		}
+	}
+}
+
+func TestRankHaplotypesFallbackAssembly(t *testing.T) {
+	rg := &Region{Ref: genome.MustFromString("ACGTACGT")}
+	res := AssembleRegion(rg, DefaultConfig()) // falls back, K == 0
+	ranked := RankHaplotypes(rg, &res)
+	if len(ranked) != 1 || !ranked[0].Seq.Equal(rg.Ref) {
+		t.Error("fallback ranking wrong")
+	}
+}
+
+func TestPathSupportMissingEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := genome.Random(rng, 200)
+	g := newGraph(15)
+	g.addSeq(ref, true)
+	foreign := genome.Random(rng, 100)
+	if s := pathSupport(g, foreign); s != 0 {
+		t.Errorf("foreign haplotype support %d, want 0", s)
+	}
+	if s := pathSupport(g, ref); s < 1 {
+		t.Errorf("reference support %d, want >= 1", s)
+	}
+}

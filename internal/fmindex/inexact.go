@@ -1,0 +1,78 @@
+package fmindex
+
+import (
+	"sort"
+
+	"repro/internal/genome"
+)
+
+// Inexact search: the paper notes the FM index supports "identifying
+// seeds with a small number of edits with respect to the reference".
+// This implements bounded-mismatch backward search (substitutions
+// only, as in BWA's original inexact seeding): a depth-first walk of
+// the backward-search tree that branches to all four bases wherever
+// the mismatch budget allows.
+
+// InexactHit is one match of a pattern with at most MaxMismatch edits.
+type InexactHit struct {
+	K, S       int // SA interval of the matched string
+	Mismatches int
+}
+
+// InexactSearch returns the SA intervals of all strings within
+// maxMismatch substitutions of pattern, sorted by mismatch count then
+// interval start. Intervals may overlap textually but are distinct in
+// the matched string space. lookups, when non-nil, accumulates Occ
+// lookups (2 per extension, as in exact search).
+func (x *Index) InexactSearch(pattern genome.Seq, maxMismatch int, lookups *uint64) []InexactHit {
+	if len(pattern) == 0 {
+		return nil
+	}
+	var scratch uint64
+	if lookups == nil {
+		lookups = &scratch
+	}
+	var hits []InexactHit
+	var walk func(iv BiInterval, i, mismatches int)
+	walk = func(iv BiInterval, i, mismatches int) {
+		if iv.S <= 0 {
+			return
+		}
+		if i < 0 {
+			hits = append(hits, InexactHit{K: iv.K, S: iv.S, Mismatches: mismatches})
+			return
+		}
+		ext := x.ExtendBackward(iv)
+		*lookups += 2
+		want := pattern[i] & 3
+		// Prefer the exact branch first so results enumerate in
+		// roughly increasing mismatch order.
+		walk(ext[want], i-1, mismatches)
+		if mismatches < maxMismatch {
+			for b := 0; b < 4; b++ {
+				if genome.Base(b) == want {
+					continue
+				}
+				walk(ext[b], i-1, mismatches+1)
+			}
+		}
+	}
+	walk(x.Root(), len(pattern)-1, 0)
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Mismatches != hits[b].Mismatches {
+			return hits[a].Mismatches < hits[b].Mismatches
+		}
+		return hits[a].K < hits[b].K
+	})
+	return hits
+}
+
+// CountInexact returns the total number of occurrences within
+// maxMismatch substitutions of pattern.
+func (x *Index) CountInexact(pattern genome.Seq, maxMismatch int) int {
+	total := 0
+	for _, h := range x.InexactSearch(pattern, maxMismatch, nil) {
+		total += h.S
+	}
+	return total
+}

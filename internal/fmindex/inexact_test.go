@@ -1,0 +1,128 @@
+package fmindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+)
+
+// naiveCountInexact counts text positions within maxMM substitutions.
+func naiveCountInexact(text string, pat string, maxMM int) int {
+	n := 0
+	for i := 0; i+len(pat) <= len(text); i++ {
+		mm := 0
+		for j := 0; j < len(pat); j++ {
+			if text[i+j] != pat[j] {
+				mm++
+				if mm > maxMM {
+					break
+				}
+			}
+		}
+		if mm <= maxMM {
+			n++
+		}
+	}
+	return n
+}
+
+func TestInexactMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := genome.Random(rng, 400)
+	x := Build(g)
+	text := testText(g)
+	for trial := 0; trial < 30; trial++ {
+		plen := 6 + rng.Intn(6)
+		var pat genome.Seq
+		if rng.Intn(2) == 0 {
+			start := rng.Intn(len(g) - plen)
+			pat = g[start : start+plen].Clone()
+			// Mutate one base so the exact form may be absent.
+			p := rng.Intn(plen)
+			pat[p] = genome.Base(rng.Intn(4))
+		} else {
+			pat = genome.Random(rng, plen)
+		}
+		for _, mm := range []int{0, 1, 2} {
+			got := x.CountInexact(pat, mm)
+			want := naiveCountInexact(text, pat.String(), mm)
+			if got != want {
+				t.Fatalf("trial %d mm=%d pat=%s: got %d, want %d", trial, mm, pat, got, want)
+			}
+		}
+	}
+}
+
+func TestInexactZeroEqualsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := genome.Random(rng, 300)
+	x := Build(g)
+	for trial := 0; trial < 20; trial++ {
+		pat := genome.Random(rng, 8)
+		if got, want := x.CountInexact(pat, 0), x.Count(pat); got != want {
+			t.Fatalf("CountInexact(0) = %d, Count = %d", got, want)
+		}
+	}
+}
+
+func TestInexactMonotoneInBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := genome.Random(rng, 500)
+	x := Build(g)
+	pat := g[100:112]
+	prev := -1
+	for mm := 0; mm <= 3; mm++ {
+		c := x.CountInexact(pat, mm)
+		if c < prev {
+			t.Fatalf("count decreased with larger budget: %d -> %d", prev, c)
+		}
+		prev = c
+	}
+}
+
+func TestInexactHitOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := genome.Random(rng, 500)
+	x := Build(g)
+	pat := g[50:62].Clone()
+	pat[6] = genome.Complement(pat[6])
+	hits := x.InexactSearch(pat, 2, nil)
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Mismatches < hits[i-1].Mismatches {
+			t.Fatal("hits not sorted by mismatch count")
+		}
+	}
+	// The mutated pattern should have a 1-mismatch hit (the original
+	// locus) even if the exact form is absent.
+	found := false
+	for _, h := range hits {
+		if h.Mismatches <= 1 && h.S > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no ≤1-mismatch hit for a single-SNV pattern")
+	}
+}
+
+func TestInexactLookupCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := genome.Random(rng, 300)
+	x := Build(g)
+	pat := genome.Random(rng, 10)
+	var l0, l2 uint64
+	x.InexactSearch(pat, 0, &l0)
+	x.InexactSearch(pat, 2, &l2)
+	if l2 <= l0 {
+		t.Errorf("larger budget should cost more lookups: %d vs %d", l2, l0)
+	}
+}
+
+func TestInexactEmptyPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := Build(genome.Random(rng, 100))
+	if hits := x.InexactSearch(nil, 2, nil); hits != nil {
+		t.Error("empty pattern should yield no hits")
+	}
+}

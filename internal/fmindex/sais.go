@@ -1,0 +1,184 @@
+// Package fmindex implements the fmi kernel: FM-index construction and
+// the super-maximal exact match (SMEM) search from BWA-MEM2. The index
+// is built over the concatenation of the genome and its reverse
+// complement (an FMD index), enabling the bidirectional interval
+// extension that SMEM enumeration requires. Suffix arrays are built
+// with the linear-time SA-IS algorithm.
+package fmindex
+
+// saisBytes builds the suffix array of text (values < k) with SA-IS.
+// text must not contain the value 0 except as an implicit terminator —
+// the function appends its own unique sentinel internally and returns
+// the suffix array of text WITHOUT the sentinel row.
+func saisBytes(text []byte, k int) []int32 {
+	n := len(text)
+	s := make([]int32, n+1)
+	for i, b := range text {
+		s[i] = int32(b) + 1 // shift so 0 is free for the sentinel
+	}
+	s[n] = 0
+	sa := saisInt(s, k+1)
+	// Drop the sentinel suffix (always first).
+	return sa[1:]
+}
+
+// saisInt is the recursive SA-IS core over an int32 string whose last
+// element is a unique smallest sentinel 0.
+func saisInt(s []int32, k int) []int32 {
+	n := len(s)
+	sa := make([]int32, n)
+	if n == 1 {
+		sa[0] = 0
+		return sa
+	}
+	// Suffix type classification: true = S-type.
+	types := make([]bool, n)
+	types[n-1] = true
+	for i := n - 2; i >= 0; i-- {
+		types[i] = s[i] < s[i+1] || (s[i] == s[i+1] && types[i+1])
+	}
+	isLMS := func(i int) bool { return i > 0 && types[i] && !types[i-1] }
+
+	bkt := make([]int32, k)
+	bucketSizes := func() {
+		for i := range bkt {
+			bkt[i] = 0
+		}
+		for _, c := range s {
+			bkt[c]++
+		}
+	}
+	bucketEnds := func() {
+		bucketSizes()
+		var sum int32
+		for i := range bkt {
+			sum += bkt[i]
+			bkt[i] = sum
+		}
+	}
+	bucketStarts := func() {
+		bucketSizes()
+		var sum int32
+		for i := range bkt {
+			sum, bkt[i] = sum+bkt[i], sum
+		}
+	}
+
+	// Step 1: place LMS suffixes at their bucket ends and induce.
+	for i := range sa {
+		sa[i] = -1
+	}
+	bucketEnds()
+	for i := n - 1; i >= 0; i-- {
+		if isLMS(i) {
+			bkt[s[i]]--
+			sa[bkt[s[i]]] = int32(i)
+		}
+	}
+	// The sentinel suffix sorts first.
+	sa[0] = int32(n - 1)
+	// Clear stale negative slots for induction correctness: induction
+	// only reads sa[i] > 0, so -1 entries are ignored naturally, but we
+	// must not treat them as suffix 0; use 0 only when placed.
+	induceFromLMS(s, sa, types, bkt, bucketStarts, bucketEnds)
+
+	// Step 2: name LMS substrings in their sorted order.
+	nLMS := 0
+	for i := 0; i < n; i++ {
+		if isLMS(int(sa[i])) {
+			sa[nLMS] = sa[i]
+			nLMS++
+		}
+	}
+	names := sa[nLMS:]
+	for i := range names {
+		names[i] = -1
+	}
+	name := int32(0)
+	var prev int32 = -1
+	for i := 0; i < nLMS; i++ {
+		pos := sa[i]
+		if prev >= 0 && !lmsEqual(s, types, int(prev), int(pos)) {
+			name++
+		} else if prev < 0 {
+			name = 0
+		}
+		names[pos/2] = name
+		prev = pos
+	}
+	// Compact names into the reduced string (in text order).
+	reduced := make([]int32, 0, nLMS)
+	lmsPos := make([]int32, 0, nLMS)
+	for i := 0; i < n; i++ {
+		if isLMS(i) {
+			reduced = append(reduced, names[i/2])
+			lmsPos = append(lmsPos, int32(i))
+		}
+	}
+
+	// Step 3: sort LMS suffixes, recursing when names collide.
+	var lmsSA []int32
+	if int(name)+1 < len(reduced) {
+		lmsSA = saisInt(reduced, int(name)+1)
+	} else {
+		lmsSA = make([]int32, len(reduced))
+		for i, nm := range reduced {
+			lmsSA[nm] = int32(i)
+		}
+	}
+
+	// Step 4: final induced sort from correctly ordered LMS suffixes.
+	for i := range sa {
+		sa[i] = -1
+	}
+	bucketEnds()
+	for i := len(lmsSA) - 1; i >= 0; i-- {
+		j := lmsPos[lmsSA[i]]
+		bkt[s[j]]--
+		sa[bkt[s[j]]] = j
+	}
+	induceFromLMS(s, sa, types, bkt, bucketStarts, bucketEnds)
+	return sa
+}
+
+// induceFromLMS performs the two induction sweeps given LMS positions
+// already placed in sa (other slots -1).
+func induceFromLMS(s, sa []int32, types []bool, bkt []int32, bucketStarts, bucketEnds func()) {
+	n := len(s)
+	bucketStarts()
+	for i := 0; i < n; i++ {
+		j := sa[i] - 1
+		if sa[i] > 0 && !types[j] {
+			sa[bkt[s[j]]] = j
+			bkt[s[j]]++
+		}
+	}
+	bucketEnds()
+	for i := n - 1; i >= 0; i-- {
+		j := sa[i] - 1
+		if sa[i] > 0 && types[j] {
+			bkt[s[j]]--
+			sa[bkt[s[j]]] = j
+		}
+	}
+}
+
+// lmsEqual reports whether the LMS substrings starting at a and b are
+// identical (same characters and types up to and including the next LMS
+// position).
+func lmsEqual(s []int32, types []bool, a, b int) bool {
+	n := len(s)
+	if a == n-1 || b == n-1 {
+		return a == b
+	}
+	for i := 0; ; i++ {
+		aLMS := a+i > 0 && types[a+i] && !types[a+i-1]
+		bLMS := b+i > 0 && types[b+i] && !types[b+i-1]
+		if i > 0 && aLMS && bLMS {
+			return true
+		}
+		if aLMS != bLMS || s[a+i] != s[b+i] {
+			return false
+		}
+	}
+}

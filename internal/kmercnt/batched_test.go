@@ -1,0 +1,70 @@
+package kmercnt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+)
+
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	reads := make([]genome.Seq, 15)
+	for i := range reads {
+		reads[i] = genome.Random(rng, 300)
+	}
+	k := 17
+	plain := NewTable(64, Linear)
+	batched := NewTable(64, Linear)
+	var nPlain, nBatched uint64
+	for _, r := range reads {
+		nPlain += CountSeq(plain, r, k)
+		nBatched += CountSeqBatched(batched, r, k)
+	}
+	if nPlain != nBatched {
+		t.Fatalf("k-mer counts differ: %d vs %d", nPlain, nBatched)
+	}
+	if plain.Len() != batched.Len() {
+		t.Fatalf("distinct counts differ: %d vs %d", plain.Len(), batched.Len())
+	}
+	for _, kc := range plain.TopKmers(1 << 20) {
+		if got := batched.Count(kc.Kmer); got != kc.Count {
+			t.Fatalf("k-mer %x: %d vs %d", kc.Kmer, got, kc.Count)
+		}
+	}
+}
+
+func TestBatchedShortRead(t *testing.T) {
+	tab := NewTable(64, Linear)
+	// Fewer k-mers than a batch.
+	n := CountSeqBatched(tab, genome.MustFromString("ACGTACGTACGTACGTACGTA"), 17)
+	if n != 5 {
+		t.Errorf("counted %d k-mers, want 5", n)
+	}
+	if tab.Len() == 0 {
+		t.Error("no k-mers stored")
+	}
+}
+
+func TestBatchedPrefetchReducesSimulatedStalls(t *testing.T) {
+	// With the cache simulator attached, the prefetch pass issues the
+	// misses and the insert pass hits: total accesses rise but the
+	// insert-path misses collapse. We assert the access pattern is
+	// observable through the tracer.
+	rng := rand.New(rand.NewSource(2))
+	read := genome.Random(rng, 2000)
+	plain := NewTable(1<<12, Linear)
+	var plainAccesses int
+	plain.Tracer = tracerFunc(func(addr uint64, size int, write bool) { plainAccesses++ })
+	CountSeq(plain, read, 17)
+
+	batched := NewTable(1<<12, Linear)
+	var batchedAccesses int
+	batched.Tracer = tracerFunc(func(addr uint64, size int, write bool) { batchedAccesses++ })
+	CountSeqBatched(batched, read, 17)
+
+	if batchedAccesses <= plainAccesses {
+		t.Errorf("batched mode should issue extra prefetch accesses: %d vs %d",
+			batchedAccesses, plainAccesses)
+	}
+}

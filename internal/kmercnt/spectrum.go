@@ -1,0 +1,83 @@
+package kmercnt
+
+// K-mer spectrum analysis: what Flye does with the counts. The
+// abundance histogram of sequencing reads has a characteristic shape —
+// an error spike at count 1-2, a coverage peak near the sequencing
+// depth — from which assemblers estimate coverage, genome size and the
+// solid-k-mer threshold without any reference.
+
+// Histogram returns h where h[c] is the number of distinct k-mers with
+// count c, for c in [1, maxCount]; counts above maxCount accumulate in
+// h[maxCount].
+func (t *Table) Histogram(maxCount int) []uint64 {
+	if maxCount < 1 {
+		maxCount = 1
+	}
+	h := make([]uint64, maxCount+1)
+	for i, key := range t.keys {
+		if key == 0 {
+			continue
+		}
+		c := int(t.counts[i])
+		if c > maxCount {
+			c = maxCount
+		}
+		h[c]++
+	}
+	return h
+}
+
+// SpectrumStats summarizes a read-set k-mer spectrum.
+type SpectrumStats struct {
+	CoveragePeak   int     // abundance at the homozygous coverage peak
+	SolidThreshold int     // minimum count separating errors from genuine k-mers
+	GenomeSize     uint64  // estimated distinct genomic k-mers
+	ErrorKmers     uint64  // k-mers below the solid threshold
+	TotalKmers     uint64  // all counted k-mer instances
+	ErrorRateEst   float64 // per-k-mer error fraction estimate
+}
+
+// AnalyzeSpectrum finds the coverage peak (the histogram maximum above
+// the error valley) and derives genome-size and error estimates, the
+// way GenomeScope-style estimators and Flye's solid-k-mer selection
+// work.
+func AnalyzeSpectrum(hist []uint64) SpectrumStats {
+	var s SpectrumStats
+	if len(hist) < 3 {
+		return s
+	}
+	// Error k-mers dominate count 1 and decay; the valley is the first
+	// local minimum, the coverage peak the maximum after it.
+	valley := 1
+	for c := 2; c < len(hist)-1; c++ {
+		if hist[c] <= hist[c-1] && hist[c] <= hist[c+1] {
+			valley = c
+			break
+		}
+	}
+	peak := valley
+	for c := valley; c < len(hist); c++ {
+		if hist[c] > hist[peak] {
+			peak = c
+		}
+	}
+	s.CoveragePeak = peak
+	s.SolidThreshold = valley
+	for c := 1; c < len(hist); c++ {
+		instances := hist[c] * uint64(c)
+		s.TotalKmers += instances
+		if c < valley {
+			s.ErrorKmers += hist[c]
+		} else {
+			s.GenomeSize += hist[c]
+		}
+	}
+	if s.TotalKmers > 0 {
+		var errInstances uint64
+		for c := 1; c < valley; c++ {
+			errInstances += hist[c] * uint64(c)
+		}
+		s.ErrorRateEst = float64(errInstances) / float64(s.TotalKmers)
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+package kmercnt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/readsim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	tab := NewTable(64, Linear)
+	for i := 0; i < 5; i++ {
+		tab.Increment(100)
+	}
+	tab.Increment(200)
+	tab.Increment(300)
+	tab.Increment(300)
+	h := tab.Histogram(10)
+	if h[1] != 1 || h[2] != 1 || h[5] != 1 {
+		t.Errorf("histogram %v", h)
+	}
+	// Clamping: count 5 lands in h[3] when maxCount = 3.
+	h3 := tab.Histogram(3)
+	if h3[3] != 1 || h3[1] != 1 || h3[2] != 1 {
+		t.Errorf("clamped histogram %v", h3)
+	}
+}
+
+func TestSpectrumRecoversCoverageAndGenomeSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := genome.NewReference(rng, "g", 30_000, 0).Seq
+	const k = 17
+	const coverage = 20
+	sim := readsim.New(2)
+	cfg := readsim.DefaultShort()
+	cfg.Length = 150
+	cfg.SubRate = 0.005
+	nReads := coverage * len(ref) / cfg.Length
+	reads := sim.ShortReads(ref, -1, nReads, cfg, "r")
+
+	tab := NewTable(1<<16, Linear)
+	for _, r := range reads {
+		CountSeq(tab, r.Seq, k)
+	}
+	stats := AnalyzeSpectrum(tab.Histogram(60))
+	// Coverage peak near 20x (k-mer coverage is slightly below read
+	// coverage by the (L-k+1)/L factor: ~17.9).
+	wantPeak := float64(coverage) * float64(cfg.Length-k+1) / float64(cfg.Length)
+	if math.Abs(float64(stats.CoveragePeak)-wantPeak) > 5 {
+		t.Errorf("coverage peak %d, want ~%.0f", stats.CoveragePeak, wantPeak)
+	}
+	// Genome size: ~30k distinct k-mers (unique random genome).
+	if float64(stats.GenomeSize) < 25_000 || float64(stats.GenomeSize) > 40_000 {
+		t.Errorf("genome size estimate %d, want ~30000", stats.GenomeSize)
+	}
+	if stats.SolidThreshold < 2 {
+		t.Errorf("solid threshold %d, want above the error spike", stats.SolidThreshold)
+	}
+	if stats.ErrorRateEst <= 0 || stats.ErrorRateEst > 0.2 {
+		t.Errorf("error rate estimate %v", stats.ErrorRateEst)
+	}
+}
+
+func TestSpectrumErrorFreeReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := genome.NewReference(rng, "g", 10_000, 0).Seq
+	sim := readsim.New(4)
+	cfg := readsim.DefaultShort()
+	cfg.Length = 100
+	cfg.SubRate = 0
+	cfg.IndelRate = 0
+	reads := sim.ShortReads(ref, -1, 1500, cfg, "r")
+	tab := NewTable(1<<14, Linear)
+	for _, r := range reads {
+		CountSeq(tab, r.Seq, 17)
+	}
+	stats := AnalyzeSpectrum(tab.Histogram(40))
+	// No errors: the error fraction should be tiny.
+	if stats.ErrorRateEst > 0.02 {
+		t.Errorf("error-free reads estimated error rate %v", stats.ErrorRateEst)
+	}
+}
+
+func TestAnalyzeSpectrumDegenerate(t *testing.T) {
+	if s := AnalyzeSpectrum(nil); s.GenomeSize != 0 {
+		t.Error("nil histogram produced estimates")
+	}
+	if s := AnalyzeSpectrum([]uint64{0, 5}); s.GenomeSize != 0 {
+		t.Error("tiny histogram produced estimates")
+	}
+}

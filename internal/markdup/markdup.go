@@ -1,0 +1,121 @@
+// Package markdup implements PCR/optical duplicate marking, the GATK
+// Best Practices step between alignment and variant calling in the
+// paper's reference-guided pipeline (Figure 1a). Reads whose fragments
+// start and end at identical reference coordinates on the same strand
+// are duplicates of one library molecule; all but the highest-quality
+// copy are flagged so the variant callers do not double-count their
+// evidence.
+package markdup
+
+import (
+	"sort"
+
+	"repro/internal/simio"
+)
+
+// fragmentKey identifies a library molecule by its alignment signature.
+type fragmentKey struct {
+	refName string
+	start   int
+	end     int
+	reverse bool
+}
+
+// Result reports a marking pass.
+type Result struct {
+	Total      int
+	Duplicates int
+	// DuplicateOf[i] is the index of the retained representative for
+	// alignment i, or -1 when i is itself retained.
+	DuplicateOf []int
+}
+
+// sumQual scores a read for representative selection (samtools'
+// criterion: highest base-quality sum wins).
+func sumQual(a *simio.Alignment) int {
+	s := 0
+	for _, q := range a.Qual {
+		s += int(q)
+	}
+	return s
+}
+
+// Mark identifies duplicates among alignments. The input order is
+// preserved; the result maps each alignment to its representative.
+func Mark(alignments []*simio.Alignment) Result {
+	res := Result{
+		Total:       len(alignments),
+		DuplicateOf: make([]int, len(alignments)),
+	}
+	groups := make(map[fragmentKey][]int, len(alignments))
+	for i, a := range alignments {
+		res.DuplicateOf[i] = -1
+		key := fragmentKey{
+			refName: a.RefName,
+			start:   a.Pos,
+			end:     a.End(),
+			reverse: a.Reverse,
+		}
+		groups[key] = append(groups[key], i)
+	}
+	for _, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		// Retain the highest-quality copy; ties break by input order
+		// for determinism.
+		best := members[0]
+		bestScore := sumQual(alignments[best])
+		for _, idx := range members[1:] {
+			if s := sumQual(alignments[idx]); s > bestScore {
+				best, bestScore = idx, s
+			}
+		}
+		for _, idx := range members {
+			if idx != best {
+				res.DuplicateOf[idx] = best
+				res.Duplicates++
+			}
+		}
+	}
+	return res
+}
+
+// Filter returns the non-duplicate alignments in input order.
+func Filter(alignments []*simio.Alignment) []*simio.Alignment {
+	res := Mark(alignments)
+	out := make([]*simio.Alignment, 0, len(alignments)-res.Duplicates)
+	for i, a := range alignments {
+		if res.DuplicateOf[i] < 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Rate estimates the library duplication rate from a marking result.
+func (r Result) Rate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Duplicates) / float64(r.Total)
+}
+
+// GroupSizes returns the sorted multiset of duplicate-group sizes
+// (groups of size 1 excluded) — the histogram library-complexity
+// estimators consume.
+func GroupSizes(alignments []*simio.Alignment) []int {
+	groups := make(map[fragmentKey]int, len(alignments))
+	for _, a := range alignments {
+		key := fragmentKey{a.RefName, a.Pos, a.End(), a.Reverse}
+		groups[key]++
+	}
+	var sizes []int
+	for _, n := range groups {
+		if n > 1 {
+			sizes = append(sizes, n)
+		}
+	}
+	sort.Ints(sizes)
+	return sizes
+}

@@ -1,0 +1,109 @@
+package markdup
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/simio"
+)
+
+func mkAln(t *testing.T, name string, pos int, reverse bool, qual byte) *simio.Alignment {
+	t.Helper()
+	cig, err := simio.ParseCigar("10M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]byte, 10)
+	for i := range q {
+		q[i] = qual
+	}
+	return &simio.Alignment{
+		ReadName: name, RefName: "chr", Pos: pos, Reverse: reverse,
+		Cigar: cig, Seq: make(genome.Seq, 10), Qual: q,
+	}
+}
+
+func TestMarkIdentifiesDuplicates(t *testing.T) {
+	alns := []*simio.Alignment{
+		mkAln(t, "a", 100, false, 30),
+		mkAln(t, "b", 100, false, 35), // duplicate of a, higher quality
+		mkAln(t, "c", 100, true, 30),  // same span, other strand: not a dup
+		mkAln(t, "d", 200, false, 30), // different position
+		mkAln(t, "e", 100, false, 20), // another duplicate
+	}
+	res := Mark(alns)
+	if res.Duplicates != 2 {
+		t.Fatalf("marked %d duplicates, want 2", res.Duplicates)
+	}
+	// b has the highest quality: a and e point at b.
+	if res.DuplicateOf[0] != 1 || res.DuplicateOf[4] != 1 {
+		t.Errorf("representatives wrong: %v", res.DuplicateOf)
+	}
+	if res.DuplicateOf[1] != -1 || res.DuplicateOf[2] != -1 || res.DuplicateOf[3] != -1 {
+		t.Errorf("non-duplicates flagged: %v", res.DuplicateOf)
+	}
+	if r := res.Rate(); r != 0.4 {
+		t.Errorf("rate %v, want 0.4", r)
+	}
+}
+
+func TestFilterKeepsRepresentatives(t *testing.T) {
+	alns := []*simio.Alignment{
+		mkAln(t, "a", 100, false, 30),
+		mkAln(t, "b", 100, false, 35),
+		mkAln(t, "c", 300, false, 30),
+	}
+	kept := Filter(alns)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d, want 2", len(kept))
+	}
+	if kept[0].ReadName != "b" || kept[1].ReadName != "c" {
+		t.Errorf("kept %s, %s", kept[0].ReadName, kept[1].ReadName)
+	}
+}
+
+func TestGroupSizes(t *testing.T) {
+	alns := []*simio.Alignment{
+		mkAln(t, "a", 100, false, 30),
+		mkAln(t, "b", 100, false, 30),
+		mkAln(t, "c", 100, false, 30),
+		mkAln(t, "d", 200, false, 30),
+		mkAln(t, "e", 200, false, 30),
+		mkAln(t, "f", 900, false, 30),
+	}
+	sizes := GroupSizes(alns)
+	if len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 3 {
+		t.Errorf("group sizes %v, want [2 3]", sizes)
+	}
+}
+
+func TestMarkSimulatedLibrary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := genome.Random(rng, 10_000)
+	cfg := simio.DefaultAlignSim()
+	cfg.MeanReadLen = 300
+	base := simio.SimulateAlignments(rng, ref, 100, cfg)
+	// Duplicate 20 alignments (same coordinates, fresh quality).
+	alns := append([]*simio.Alignment{}, base...)
+	for i := 0; i < 20; i++ {
+		orig := base[rng.Intn(len(base))]
+		dup := *orig
+		alns = append(alns, &dup)
+	}
+	res := Mark(alns)
+	if res.Duplicates < 20 {
+		t.Errorf("marked %d duplicates, planted 20", res.Duplicates)
+	}
+	kept := Filter(alns)
+	if len(kept) != len(alns)-res.Duplicates {
+		t.Errorf("filter kept %d, want %d", len(kept), len(alns)-res.Duplicates)
+	}
+}
+
+func TestMarkEmpty(t *testing.T) {
+	res := Mark(nil)
+	if res.Total != 0 || res.Duplicates != 0 || res.Rate() != 0 {
+		t.Error("empty input mismarked")
+	}
+}

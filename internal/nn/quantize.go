@@ -1,0 +1,110 @@
+package nn
+
+import "math"
+
+// Int8 quantized inference: production basecallers ship quantized
+// models to trade a little accuracy for integer throughput. Weights
+// quantize per-output-channel symmetrically to int8; activations
+// quantize dynamically per tensor. The quantized path exists both as a
+// deployment feature and as an ablation target (float vs int8 op mix).
+
+// QuantizedDense is a Dense layer with int8 weights and per-column
+// scales.
+type QuantizedDense struct {
+	W      []int8 // (in, out) row-major
+	In     int
+	Out    int
+	Scales []float32 // per output column: w_float = w_int8 * scale
+	B      []float32
+	Act    Activation
+	Name   string
+}
+
+// Quantize converts a Dense layer to int8.
+func (d *Dense) Quantize() *QuantizedDense {
+	in, out := d.W.Rows, d.W.Cols
+	q := &QuantizedDense{
+		W:      make([]int8, in*out),
+		In:     in,
+		Out:    out,
+		Scales: make([]float32, out),
+		B:      append([]float32(nil), d.B...),
+		Act:    d.Act,
+		Name:   d.Name + ".q8",
+	}
+	for c := 0; c < out; c++ {
+		var maxAbs float32
+		for r := 0; r < in; r++ {
+			v := d.W.At(r, c)
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+		if maxAbs == 0 {
+			q.Scales[c] = 1
+			continue
+		}
+		scale := maxAbs / 127
+		q.Scales[c] = scale
+		for r := 0; r < in; r++ {
+			q.W[r*out+c] = int8(roundf(d.W.At(r, c) / scale))
+		}
+	}
+	return q
+}
+
+func roundf(v float32) float32 {
+	return float32(math.Round(float64(v)))
+}
+
+// Forward runs the quantized layer: activations are dynamically
+// quantized to int8, the matmul accumulates in int32, and the output
+// dequantizes through the combined scales.
+func (q *QuantizedDense) Forward(x *Tensor) *Tensor {
+	if x.Cols != q.In {
+		panic("nn: quantized dense shape mismatch")
+	}
+	// Dynamic activation quantization (per tensor, symmetric).
+	var maxAbs float32
+	for _, v := range x.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	actScale := float32(1)
+	if maxAbs > 0 {
+		actScale = maxAbs / 127
+	}
+	xq := make([]int8, len(x.Data))
+	for i, v := range x.Data {
+		xq[i] = int8(roundf(v / actScale))
+	}
+	out := NewTensor(x.Rows, q.Out)
+	for r := 0; r < x.Rows; r++ {
+		xrow := xq[r*q.In : (r+1)*q.In]
+		orow := out.Row(r)
+		acc := make([]int32, q.Out)
+		for k, xv := range xrow {
+			if xv == 0 {
+				continue
+			}
+			wrow := q.W[k*q.Out : (k+1)*q.Out]
+			for c := range acc {
+				acc[c] += int32(xv) * int32(wrow[c])
+			}
+		}
+		for c := range orow {
+			orow[c] = float32(acc[c])*actScale*q.Scales[c] + q.B[c]
+			if q.Act != nil {
+				orow[c] = q.Act(orow[c])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantizedDenseApproximatesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(rng, 64, 32, nil, "fc")
+	q := d.Quantize()
+	x := RandomTensor(rng, 10, 64, 1)
+	yf := d.Forward(x)
+	yq := q.Forward(x)
+	if yq.Rows != yf.Rows || yq.Cols != yf.Cols {
+		t.Fatalf("shape mismatch (%d,%d) vs (%d,%d)", yq.Rows, yq.Cols, yf.Rows, yf.Cols)
+	}
+	var maxErr, scaleRef float64
+	for i := range yf.Data {
+		e := math.Abs(float64(yf.Data[i] - yq.Data[i]))
+		if e > maxErr {
+			maxErr = e
+		}
+		if a := math.Abs(float64(yf.Data[i])); a > scaleRef {
+			scaleRef = a
+		}
+	}
+	// Int8 dual quantization: relative error should stay within a few
+	// percent of the output range.
+	if maxErr > 0.05*scaleRef {
+		t.Errorf("max error %v vs output scale %v", maxErr, scaleRef)
+	}
+}
+
+func TestQuantizedWeightsInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := NewDense(rng, 20, 10, nil, "fc").Quantize()
+	for _, w := range q.W {
+		if w == -128 {
+			t.Fatal("weight at -128: symmetric quantization violated")
+		}
+	}
+	if len(q.Scales) != 10 {
+		t.Fatalf("scales per column: %d", len(q.Scales))
+	}
+	for _, s := range q.Scales {
+		if s <= 0 {
+			t.Fatal("non-positive scale")
+		}
+	}
+}
+
+func TestQuantizeZeroWeights(t *testing.T) {
+	d := &Dense{W: NewTensor(4, 3), B: make([]float32, 3), Name: "zero"}
+	q := d.Quantize()
+	x := NewTensor(2, 4)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	y := q.Forward(x)
+	for _, v := range y.Data {
+		if v != 0 {
+			t.Fatalf("zero layer output %v", v)
+		}
+	}
+}
+
+func TestQuantizedDenseActivation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDense(rng, 16, 8, ReLU, "fc")
+	q := d.Quantize()
+	x := RandomTensor(rng, 5, 16, 1)
+	y := q.Forward(x)
+	for _, v := range y.Data {
+		if v < 0 {
+			t.Fatal("ReLU not applied in quantized path")
+		}
+	}
+}
+
+func TestQuantizedArgmaxAgreement(t *testing.T) {
+	// For classification heads what matters is the argmax agreeing.
+	rng := rand.New(rand.NewSource(4))
+	d := NewDense(rng, 48, 5, nil, "head")
+	q := d.Quantize()
+	agree := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		x := RandomTensor(rng, 1, 48, 1)
+		yf := d.Forward(x).Row(0)
+		yq := q.Forward(x).Row(0)
+		if argmax(yf) == argmax(yq) {
+			agree++
+		}
+	}
+	if agree < trials*9/10 {
+		t.Errorf("argmax agreement %d/%d below 90%%", agree, trials)
+	}
+}
+
+func argmax(xs []float32) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

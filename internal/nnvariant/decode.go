@@ -1,0 +1,97 @@
+package nnvariant
+
+import (
+	"repro/internal/genome"
+	"repro/internal/simio"
+)
+
+// Genotype decoding: Clair's genotype head predicts the unordered base
+// pair at the site; combining it with zygosity and the reference base
+// yields a VCF record.
+
+// genotypePairs maps head class index to the unordered base pair, in
+// the canonical AA, AC, AG, AT, CC, CG, CT, GG, GT, TT order.
+var genotypePairs = [GenotypeClasses][2]genome.Base{
+	{genome.A, genome.A}, {genome.A, genome.C}, {genome.A, genome.G}, {genome.A, genome.T},
+	{genome.C, genome.C}, {genome.C, genome.G}, {genome.C, genome.T},
+	{genome.G, genome.G}, {genome.G, genome.T},
+	{genome.T, genome.T},
+}
+
+// GenotypeClassOf returns the head class for an unordered base pair.
+func GenotypeClassOf(a, b genome.Base) int {
+	if a > b {
+		a, b = b, a
+	}
+	for i, p := range genotypePairs {
+		if p[0] == a && p[1] == b {
+			return i
+		}
+	}
+	return 0
+}
+
+// Decoded is a variant interpretation of one network call.
+type Decoded struct {
+	IsVariant  bool
+	Alleles    [2]genome.Base
+	Alt        genome.Base // the non-reference allele (first if both differ)
+	Genotype   simio.Genotype
+	Confidence float32 // probability mass of the chosen genotype class
+}
+
+// Decode interprets a Call at a site with the given reference base.
+func Decode(c *Call, refBase genome.Base) Decoded {
+	best := 0
+	for i := 1; i < GenotypeClasses; i++ {
+		if c.Genotype[i] > c.Genotype[best] {
+			best = i
+		}
+	}
+	pair := genotypePairs[best]
+	d := Decoded{Alleles: pair, Confidence: c.Genotype[best]}
+	aRef := pair[0] == refBase
+	bRef := pair[1] == refBase
+	switch {
+	case aRef && bRef:
+		d.Genotype = simio.HomRef
+	case aRef || bRef:
+		d.Genotype = simio.Het
+		d.IsVariant = true
+		if aRef {
+			d.Alt = pair[1]
+		} else {
+			d.Alt = pair[0]
+		}
+	default:
+		d.Genotype = simio.HomAlt
+		d.IsVariant = true
+		d.Alt = pair[0]
+	}
+	return d
+}
+
+// EmitVCF converts decoded calls at given reference offsets into VCF
+// records, dropping non-variant sites.
+func EmitVCF(chrom string, ref genome.Seq, positions []int, calls []Call) []simio.VCFRecord {
+	var out []simio.VCFRecord
+	for i := range calls {
+		pos := positions[i]
+		if pos < 0 || pos >= len(ref) {
+			continue
+		}
+		d := Decode(&calls[i], ref[pos])
+		if !d.IsVariant {
+			continue
+		}
+		out = append(out, simio.VCFRecord{
+			Chrom:    chrom,
+			Pos:      pos,
+			Ref:      genome.Seq{ref[pos]},
+			Alt:      genome.Seq{d.Alt},
+			Qual:     float64(60 * d.Confidence),
+			Genotype: d.Genotype,
+		})
+	}
+	return out
+}

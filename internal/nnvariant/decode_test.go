@@ -1,0 +1,107 @@
+package nnvariant
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/simio"
+)
+
+func callWithBest(class int) Call {
+	var c Call
+	for i := range c.Genotype {
+		c.Genotype[i] = 0.02
+	}
+	c.Genotype[class] = 0.8
+	return c
+}
+
+func TestGenotypeClassOfRoundTrip(t *testing.T) {
+	seen := map[int]bool{}
+	for a := genome.Base(0); a < 4; a++ {
+		for b := a; b < 4; b++ {
+			cls := GenotypeClassOf(a, b)
+			if seen[cls] {
+				t.Fatalf("class %d assigned twice", cls)
+			}
+			seen[cls] = true
+			pair := genotypePairs[cls]
+			if pair[0] != a || pair[1] != b {
+				t.Fatalf("class %d maps to %v, want {%d,%d}", cls, pair, a, b)
+			}
+			// Order independence.
+			if GenotypeClassOf(b, a) != cls {
+				t.Fatalf("GenotypeClassOf not symmetric for %d,%d", a, b)
+			}
+		}
+	}
+	if len(seen) != GenotypeClasses {
+		t.Fatalf("covered %d classes, want %d", len(seen), GenotypeClasses)
+	}
+}
+
+func TestDecodeHomRef(t *testing.T) {
+	c := callWithBest(GenotypeClassOf(genome.A, genome.A))
+	d := Decode(&c, genome.A)
+	if d.IsVariant || d.Genotype != simio.HomRef {
+		t.Errorf("AA on ref A decoded as %+v", d)
+	}
+}
+
+func TestDecodeHet(t *testing.T) {
+	c := callWithBest(GenotypeClassOf(genome.A, genome.T))
+	d := Decode(&c, genome.A)
+	if !d.IsVariant || d.Genotype != simio.Het || d.Alt != genome.T {
+		t.Errorf("AT on ref A decoded as %+v", d)
+	}
+	// Same pair on ref T: alt should be A.
+	d2 := Decode(&c, genome.T)
+	if d2.Alt != genome.A || d2.Genotype != simio.Het {
+		t.Errorf("AT on ref T decoded as %+v", d2)
+	}
+}
+
+func TestDecodeHomAlt(t *testing.T) {
+	c := callWithBest(GenotypeClassOf(genome.G, genome.G))
+	d := Decode(&c, genome.A)
+	if !d.IsVariant || d.Genotype != simio.HomAlt || d.Alt != genome.G {
+		t.Errorf("GG on ref A decoded as %+v", d)
+	}
+	if d.Confidence != 0.8 {
+		t.Errorf("confidence %v", d.Confidence)
+	}
+}
+
+func TestEmitVCF(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := genome.Random(rng, 100)
+	ref[10] = genome.A
+	ref[20] = genome.C
+	calls := []Call{
+		callWithBest(GenotypeClassOf(genome.A, genome.A)), // hom ref: dropped
+		callWithBest(GenotypeClassOf(genome.C, genome.T)), // het C/T on ref C
+	}
+	recs := EmitVCF("chr1", ref, []int{10, 20}, calls)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Pos != 20 || r.Genotype != simio.Het {
+		t.Errorf("record %+v", r)
+	}
+	if r.Ref.String() != "C" || r.Alt.String() != "T" {
+		t.Errorf("alleles %s>%s", r.Ref, r.Alt)
+	}
+	if r.Qual <= 0 {
+		t.Error("no quality assigned")
+	}
+}
+
+func TestEmitVCFOutOfRangePositions(t *testing.T) {
+	ref := genome.MustFromString("ACGT")
+	calls := []Call{callWithBest(GenotypeClassOf(genome.T, genome.T))}
+	if recs := EmitVCF("c", ref, []int{99}, calls); len(recs) != 0 {
+		t.Error("out-of-range position emitted")
+	}
+}

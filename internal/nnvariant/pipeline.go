@@ -1,0 +1,39 @@
+package nnvariant
+
+import (
+	"repro/internal/genome"
+	"repro/internal/pileup"
+	"repro/internal/simio"
+)
+
+// CallRegion is the complete Clair-style calling path for one region:
+// candidate selection from the pileup, tensor generation, network
+// prediction and VCF emission. It returns the records and the number
+// of network evaluations performed.
+func CallRegion(m *Model, chrom string, ref genome.Seq, regionStart int, counts []pileup.Counts, minDepth uint32, minAltFrac float64) ([]simio.VCFRecord, int) {
+	cands := SelectCandidates(counts, ref, regionStart, minDepth, minAltFrac)
+	if len(cands) == 0 {
+		return nil, 0
+	}
+	calls := make([]Call, len(cands))
+	positions := make([]int, len(cands))
+	for i, pos := range cands {
+		calls[i] = m.Predict(BuildTensor(counts, pos))
+		positions[i] = regionStart + pos
+	}
+	return EmitVCF(chrom, ref, positions, calls), len(cands)
+}
+
+// CallAll runs CallRegion over pre-split pileup regions and merges the
+// records.
+func CallAll(m *Model, chrom string, ref genome.Seq, regions []*pileup.Region, minDepth uint32, minAltFrac float64) ([]simio.VCFRecord, int) {
+	var out []simio.VCFRecord
+	evaluations := 0
+	for _, rg := range regions {
+		counts, _ := pileup.CountRegion(rg)
+		recs, n := CallRegion(m, chrom, ref, rg.Start, counts, minDepth, minAltFrac)
+		out = append(out, recs...)
+		evaluations += n
+	}
+	return out, evaluations
+}

@@ -1,0 +1,104 @@
+// Package parallel provides the dynamic task scheduling used by every
+// multi-threaded GenomicsBench kernel, mirroring the paper's use of
+// OpenMP dynamic scheduling, plus the harness that measures thread
+// scaling for Figure 7.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ForEach runs fn(i) for every i in [0,n) on `threads` workers that pull
+// task indices from a shared atomic counter — the moral equivalent of
+// `#pragma omp parallel for schedule(dynamic)`. fn receives the worker
+// id so kernels can keep per-worker counters without locking.
+func ForEach(n, threads int, fn func(worker, task int)) {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > n {
+		threads = n
+	}
+	if n <= 0 {
+		return
+	}
+	if threads <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEachChunked is ForEach with a chunk size greater than one, reducing
+// scheduling overhead for very short tasks.
+func ForEachChunked(n, threads, chunk int, fn func(worker, task int)) {
+	if chunk <= 1 {
+		ForEach(n, threads, fn)
+		return
+	}
+	chunks := (n + chunk - 1) / chunk
+	ForEach(chunks, threads, func(worker, c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			fn(worker, i)
+		}
+	})
+}
+
+// ScalingPoint is one measurement of a scaling sweep.
+type ScalingPoint struct {
+	Threads  int
+	Elapsed  time.Duration
+	Speedup  float64 // relative to the 1-thread point
+	Parallel float64 // efficiency = Speedup/Threads
+}
+
+// MeasureScaling runs work(threads) for each requested thread count and
+// reports the speedup curve. work must perform the same total job
+// regardless of the thread count.
+func MeasureScaling(threadCounts []int, work func(threads int)) []ScalingPoint {
+	points := make([]ScalingPoint, 0, len(threadCounts))
+	var base time.Duration
+	for _, tc := range threadCounts {
+		runtime.GC() // stabilize allocator state between measurements
+		start := time.Now()
+		work(tc)
+		elapsed := time.Since(start)
+		if len(points) == 0 {
+			base = elapsed
+		}
+		p := ScalingPoint{Threads: tc, Elapsed: elapsed}
+		if elapsed > 0 {
+			p.Speedup = float64(base) / float64(elapsed)
+		}
+		if tc > 0 {
+			p.Parallel = p.Speedup / float64(tc)
+		}
+		points = append(points, p)
+	}
+	return points
+}

@@ -1,0 +1,80 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllTasksOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		n := 1000
+		counts := make([]int32, n)
+		ForEach(n, threads, func(worker, task int) {
+			atomic.AddInt32(&counts[task], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("threads=%d task %d ran %d times", threads, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	ran := false
+	ForEach(0, 4, func(int, int) { ran = true })
+	if ran {
+		t.Error("fn ran for n=0")
+	}
+}
+
+func TestForEachDefaultThreads(t *testing.T) {
+	var total int64
+	ForEach(100, 0, func(worker, task int) { atomic.AddInt64(&total, int64(task)) })
+	if total != 4950 {
+		t.Errorf("sum = %d, want 4950", total)
+	}
+}
+
+func TestForEachWorkerIDsInRange(t *testing.T) {
+	threads := 3
+	ForEach(200, threads, func(worker, task int) {
+		if worker < 0 || worker >= threads {
+			t.Errorf("worker id %d out of range", worker)
+		}
+	})
+}
+
+func TestForEachChunked(t *testing.T) {
+	n := 103
+	counts := make([]int32, n)
+	ForEachChunked(n, 4, 10, func(worker, task int) {
+		atomic.AddInt32(&counts[task], 1)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMeasureScalingShape(t *testing.T) {
+	points := MeasureScaling([]int{1, 2}, func(threads int) {
+		ForEach(1000, threads, func(_, task int) {
+			x := 0
+			for i := 0; i < 1000; i++ {
+				x += i * task
+			}
+			_ = x
+		})
+	})
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	if points[0].Speedup < 0.99 || points[0].Speedup > 1.01 {
+		t.Errorf("baseline speedup = %v, want 1", points[0].Speedup)
+	}
+	if points[1].Threads != 2 {
+		t.Errorf("second point threads = %d", points[1].Threads)
+	}
+}

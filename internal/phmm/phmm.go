@@ -1,0 +1,239 @@
+// Package phmm implements the Pairwise Hidden Markov Model kernel from
+// GATK HaplotypeCaller: the forward-algorithm likelihood of a read
+// given a candidate haplotype, computed with quality-dependent priors
+// in single-precision floating point with a double-precision fallback
+// when the 32-bit computation underflows — exactly the precision
+// strategy the paper describes for phmm.
+package phmm
+
+import (
+	"math"
+
+	"repro/internal/genome"
+	"repro/internal/parallel"
+	"repro/internal/perf"
+)
+
+// Transition probabilities follow GATK's defaults: gap-open quality 45
+// for insertions and deletions, gap-continuation penalty 10.
+var (
+	gapOpen = math.Pow(10, -4.5) // P(match -> ins) = P(match -> del)
+	gapExt  = math.Pow(10, -1)   // P(ins -> ins) = P(del -> del)
+
+	tMM = 1 - 2*gapOpen
+	tMI = gapOpen
+	tMD = gapOpen
+	tIM = 1 - gapExt
+	tII = gapExt
+	tDM = 1 - gapExt
+	tDD = gapExt
+)
+
+// qualToErr[q] is the base error probability for Phred quality q.
+var qualToErr [94]float64
+
+func init() {
+	for q := range qualToErr {
+		qualToErr[q] = math.Pow(10, -float64(q)/10)
+	}
+}
+
+// Float is the precision parameter of the forward computation.
+type Float interface {
+	~float32 | ~float64
+}
+
+// initialScale32 rescales the float32 computation away from the
+// subnormal range, mirroring GATK's INITIAL_CONDITION.
+const initialScale32 = float64(1<<62) * float64(1<<58) // 2^120
+
+// underflowThreshold32 marks results too small to trust in float32.
+const underflowThreshold32 = 1e-28
+
+// forward runs the PairHMM forward algorithm in precision F and
+// returns the raw (scaled) likelihood sum plus the number of DP cells
+// computed.
+func forward[F Float](read genome.Seq, qual []byte, hap genome.Seq, scale float64) (F, uint64) {
+	m := len(read)
+	n := len(hap)
+	if m == 0 || n == 0 {
+		return 0, 0
+	}
+	// Row-wise DP over the read; columns are haplotype positions.
+	curM := make([]F, n+1)
+	curI := make([]F, n+1)
+	curD := make([]F, n+1)
+	prevM := make([]F, n+1)
+	prevI := make([]F, n+1)
+	prevD := make([]F, n+1)
+
+	// Free start anywhere on the haplotype: D row 0 carries the scaled
+	// initial mass.
+	init := F(scale / float64(n))
+	for j := 0; j <= n; j++ {
+		prevD[j] = init
+	}
+
+	tmm := F(tMM)
+	tmi := F(tMI)
+	tmd := F(tMD)
+	tim := F(tIM)
+	tii := F(tII)
+	tdm := F(tDM)
+	tdd := F(tDD)
+
+	var cells uint64
+	for i := 1; i <= m; i++ {
+		err := qualToErr[qual[i-1]]
+		priorMatch := F(1 - err)
+		priorMismatch := F(err / 3)
+		rb := read[i-1]
+		curM[0] = 0
+		curI[0] = 0
+		curD[0] = 0
+		for j := 1; j <= n; j++ {
+			cells++
+			prior := priorMismatch
+			if hap[j-1] == rb {
+				prior = priorMatch
+			}
+			curM[j] = prior * (tmm*prevM[j-1] + tim*prevI[j-1] + tdm*prevD[j-1])
+			curI[j] = tmi*prevM[j] + tii*prevI[j]
+			curD[j] = tmd*curM[j-1] + tdd*curD[j-1]
+		}
+		prevM, curM = curM, prevM
+		prevI, curI = curI, prevI
+		prevD, curD = curD, prevD
+	}
+	// Free end on the haplotype: sum M and I across the last row.
+	var sum F
+	for j := 1; j <= n; j++ {
+		sum += prevM[j] + prevI[j]
+	}
+	return sum, cells
+}
+
+// Result reports one read-haplotype likelihood evaluation.
+type Result struct {
+	Log10Likelihood float64
+	UsedDouble      bool   // float32 underflowed; recomputed in float64
+	CellUpdates     uint64 // includes any fallback recomputation
+}
+
+// Likelihood computes log10 P(read | haplotype), attempting float32
+// first and falling back to float64 on underflow.
+func Likelihood(read genome.Seq, qual []byte, hap genome.Seq) Result {
+	if len(read) == 0 || len(hap) == 0 {
+		return Result{Log10Likelihood: math.Inf(-1)}
+	}
+	sum32, cells := forward[float32](read, qual, hap, initialScale32)
+	if s := float64(sum32); s > underflowThreshold32 && !math.IsInf(s, 0) {
+		return Result{
+			Log10Likelihood: math.Log10(s) - math.Log10(initialScale32),
+			CellUpdates:     cells,
+		}
+	}
+	const scale64 = 1e280
+	sum64, cells64 := forward[float64](read, qual, hap, scale64)
+	return Result{
+		Log10Likelihood: math.Log10(sum64) - math.Log10(scale64),
+		UsedDouble:      true,
+		CellUpdates:     cells + cells64,
+	}
+}
+
+// Region is one independent task: the reads aligned to a genome window
+// and the candidate haplotypes assembled for it. The kernel evaluates
+// all |R| x |H| pairs.
+type Region struct {
+	Reads []genome.Seq
+	Quals [][]byte
+	Haps  []genome.Seq
+}
+
+// RegionResult carries per-region outputs.
+type RegionResult struct {
+	// BestHap[r] is the index of the maximum-likelihood haplotype for
+	// read r.
+	BestHap []int
+	// Likelihoods[r*|H|+h] is log10 P(read r | hap h).
+	Likelihoods []float64
+	CellUpdates uint64
+	Fallbacks   int
+}
+
+// EvaluateRegion runs all pairwise alignments of one region.
+func EvaluateRegion(rg *Region) RegionResult {
+	nr, nh := len(rg.Reads), len(rg.Haps)
+	res := RegionResult{
+		BestHap:     make([]int, nr),
+		Likelihoods: make([]float64, nr*nh),
+	}
+	for r := 0; r < nr; r++ {
+		best := math.Inf(-1)
+		for h := 0; h < nh; h++ {
+			lr := Likelihood(rg.Reads[r], rg.Quals[r], rg.Haps[h])
+			res.Likelihoods[r*nh+h] = lr.Log10Likelihood
+			res.CellUpdates += lr.CellUpdates
+			if lr.UsedDouble {
+				res.Fallbacks++
+			}
+			if lr.Log10Likelihood > best {
+				best = lr.Log10Likelihood
+				res.BestHap[r] = h
+			}
+		}
+	}
+	return res
+}
+
+// KernelResult aggregates a phmm benchmark execution.
+type KernelResult struct {
+	Regions     int
+	Pairs       int
+	CellUpdates uint64
+	Fallbacks   int
+	TaskStats   *perf.TaskStats
+	Counters    perf.Counters
+}
+
+// RunKernel evaluates all regions with dynamic scheduling; each region
+// is one task, matching the paper's genome-region parallelism
+// granularity for phmm.
+func RunKernel(regions []*Region, threads int) KernelResult {
+	if threads <= 0 {
+		threads = 1
+	}
+	type ws struct {
+		pairs     int
+		cells     uint64
+		fallbacks int
+		stats     *perf.TaskStats
+	}
+	workers := make([]ws, threads)
+	for i := range workers {
+		workers[i].stats = perf.NewTaskStats("cell updates")
+	}
+	parallel.ForEach(len(regions), threads, func(w, i int) {
+		r := EvaluateRegion(regions[i])
+		workers[w].pairs += len(regions[i].Reads) * len(regions[i].Haps)
+		workers[w].cells += r.CellUpdates
+		workers[w].fallbacks += r.Fallbacks
+		workers[w].stats.Observe(float64(r.CellUpdates))
+	})
+	res := KernelResult{Regions: len(regions), TaskStats: perf.NewTaskStats("cell updates")}
+	for i := range workers {
+		res.Pairs += workers[i].pairs
+		res.CellUpdates += workers[i].cells
+		res.Fallbacks += workers[i].fallbacks
+		res.TaskStats.Merge(workers[i].stats)
+	}
+	// phmm is the suite's floating-point kernel: each cell is ~9 FP
+	// multiply-adds, vectorized in the original.
+	res.Counters.Add(perf.FloatOp, res.CellUpdates*3)
+	res.Counters.Add(perf.VecOp, res.CellUpdates*6)
+	res.Counters.Add(perf.Load, res.CellUpdates*2)
+	res.Counters.Add(perf.Store, res.CellUpdates)
+	res.Counters.Add(perf.Branch, res.CellUpdates/8)
+	return res
+}

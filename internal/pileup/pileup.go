@@ -1,0 +1,181 @@
+// Package pileup implements the pileup counting kernel from Medaka:
+// walking the CIGAR of every read aligned to a reference region and
+// accumulating per-position, per-strand counts of bases, insertions
+// and deletions — the tensor-precursor a long-read neural variant
+// caller consumes. Tasks are 100-kilobase reference regions processed
+// on independent threads, the paper's inter-task parallel version.
+package pileup
+
+import (
+	"repro/internal/genome"
+	"repro/internal/parallel"
+	"repro/internal/perf"
+	"repro/internal/simio"
+)
+
+// RegionSize is the paper's per-task region width in bases.
+const RegionSize = 100_000
+
+// Counts holds the pileup for one reference position: base counts per
+// strand (0 = forward, 1 = reverse) plus insertion/deletion support.
+type Counts struct {
+	Base [2][4]uint32
+	Ins  [2]uint32
+	Del  [2]uint32
+}
+
+// Depth returns the total base coverage at the position.
+func (c *Counts) Depth() uint32 {
+	var d uint32
+	for s := 0; s < 2; s++ {
+		for b := 0; b < 4; b++ {
+			d += c.Base[s][b]
+		}
+	}
+	return d
+}
+
+// Region is one counting task: a reference window plus the alignments
+// overlapping it.
+type Region struct {
+	Start, End int
+	Alignments []*simio.Alignment
+}
+
+// CountRegion walks every alignment's CIGAR and fills the window's
+// pileup. It returns the counts (End-Start positions) and the number
+// of alignment records processed.
+func CountRegion(rg *Region) ([]Counts, int) {
+	counts := make([]Counts, rg.End-rg.Start)
+	for _, a := range rg.Alignments {
+		strand := 0
+		if a.Reverse {
+			strand = 1
+		}
+		refPos := a.Pos
+		readPos := 0
+		for _, e := range a.Cigar {
+			switch e.Op {
+			case simio.CigarMatch:
+				for i := 0; i < e.Len; i++ {
+					if refPos >= rg.Start && refPos < rg.End {
+						b := a.Seq[readPos] & 3
+						counts[refPos-rg.Start].Base[strand][b]++
+					}
+					refPos++
+					readPos++
+				}
+			case simio.CigarIns:
+				if refPos >= rg.Start && refPos < rg.End {
+					counts[refPos-rg.Start].Ins[strand]++
+				}
+				readPos += e.Len
+			case simio.CigarDel:
+				for i := 0; i < e.Len; i++ {
+					if refPos >= rg.Start && refPos < rg.End {
+						counts[refPos-rg.Start].Del[strand]++
+					}
+					refPos++
+				}
+			case simio.CigarSoftClip:
+				readPos += e.Len
+			}
+		}
+	}
+	return counts, len(rg.Alignments)
+}
+
+// SplitRegions partitions [0, refLen) into RegionSize windows and
+// assigns each alignment to every window it overlaps.
+func SplitRegions(refLen int, alignments []*simio.Alignment, regionSize int) []*Region {
+	if regionSize <= 0 {
+		regionSize = RegionSize
+	}
+	n := (refLen + regionSize - 1) / regionSize
+	regions := make([]*Region, n)
+	for i := range regions {
+		start := i * regionSize
+		end := start + regionSize
+		if end > refLen {
+			end = refLen
+		}
+		regions[i] = &Region{Start: start, End: end}
+	}
+	for _, a := range alignments {
+		first := a.Pos / regionSize
+		last := (a.End() - 1) / regionSize
+		if last >= n {
+			last = n - 1
+		}
+		for r := first; r <= last && r >= 0; r++ {
+			regions[r].Alignments = append(regions[r].Alignments, a)
+		}
+	}
+	return regions
+}
+
+// MajorityBase returns the most supported base at a position and its
+// count, combining strands; ok is false at zero depth.
+func (c *Counts) MajorityBase() (base genome.Base, count uint32, ok bool) {
+	for b := 0; b < 4; b++ {
+		n := c.Base[0][b] + c.Base[1][b]
+		if n > count {
+			count = n
+			base = genome.Base(b)
+			ok = true
+		}
+	}
+	return
+}
+
+// KernelResult aggregates a pileup benchmark execution.
+type KernelResult struct {
+	Regions     int
+	ReadLookups uint64 // alignment records parsed (Table III unit)
+	Positions   uint64
+	TotalDepth  uint64
+	TaskStats   *perf.TaskStats
+	Counters    perf.Counters
+}
+
+// RunKernel counts every region with dynamic scheduling.
+func RunKernel(regions []*Region, threads int) KernelResult {
+	if threads <= 0 {
+		threads = 1
+	}
+	type ws struct {
+		lookups   uint64
+		positions uint64
+		depth     uint64
+		stats     *perf.TaskStats
+	}
+	workers := make([]ws, threads)
+	for i := range workers {
+		workers[i].stats = perf.NewTaskStats("read lookups")
+	}
+	parallel.ForEach(len(regions), threads, func(w, i int) {
+		counts, reads := CountRegion(regions[i])
+		workers[w].lookups += uint64(reads)
+		workers[w].positions += uint64(len(counts))
+		for p := range counts {
+			workers[w].depth += uint64(counts[p].Depth())
+		}
+		workers[w].stats.Observe(float64(reads))
+	})
+	res := KernelResult{Regions: len(regions), TaskStats: perf.NewTaskStats("read lookups")}
+	for i := range workers {
+		res.ReadLookups += workers[i].lookups
+		res.Positions += workers[i].positions
+		res.TotalDepth += workers[i].depth
+		res.TaskStats.Merge(workers[i].stats)
+	}
+	// Random access into alignment records dominates; per counted base
+	// the original parses CIGAR state, decodes packed bases and
+	// updates counters (~25 instructions in htslib-based code).
+	res.Counters.Add(perf.Load, res.TotalDepth*7)
+	res.Counters.Add(perf.Store, res.TotalDepth*2)
+	res.Counters.Add(perf.IntALU, res.TotalDepth*11)
+	res.Counters.Add(perf.Branch, res.TotalDepth*5)
+	res.Counters.Add(perf.Other, res.ReadLookups)
+	return res
+}

@@ -1,0 +1,452 @@
+// Package poa implements the partial-order alignment kernel from Racon
+// (the spoa library): window sequences are aligned one by one against a
+// partial-order graph with a dynamic-programming pass whose complexity
+// is O((2*np+1) * n * |V|) — every graph node row consults all its
+// in-edges — then fused into the graph, and the window consensus is
+// extracted with the heaviest-bundle algorithm.
+package poa
+
+import (
+	"repro/internal/genome"
+	"repro/internal/parallel"
+	"repro/internal/perf"
+)
+
+// Params are alignment scores (global alignment with linear gaps, the
+// configuration Racon uses for window consensus).
+type Params struct {
+	Match    int32
+	Mismatch int32 // negative
+	Gap      int32 // negative
+}
+
+// DefaultParams mirrors Racon's defaults (match 3, mismatch -5, gap -4).
+func DefaultParams() Params {
+	return Params{Match: 3, Mismatch: -5, Gap: -4}
+}
+
+// edge is a weighted directed edge.
+type edge struct {
+	to     int32
+	weight int32
+}
+
+// node is one graph vertex: a base supported by reads.
+type node struct {
+	base      genome.Base
+	out       []edge
+	in        []edge // reversed edges, weights mirrored
+	alignedTo []int32
+}
+
+// Graph is a partial-order alignment graph.
+type Graph struct {
+	nodes []node
+	topo  []int32 // topological order, maintained after each AddSequence
+	dirty bool
+
+	// CellUpdates counts DP cells computed across all alignments, the
+	// kernel's data-parallel unit in the paper's Table III.
+	CellUpdates uint64
+}
+
+// New creates an empty graph.
+func New() *Graph { return &Graph{} }
+
+// NumNodes returns the vertex count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for i := range g.nodes {
+		n += len(g.nodes[i].out)
+	}
+	return n
+}
+
+func (g *Graph) addNode(b genome.Base) int32 {
+	g.nodes = append(g.nodes, node{base: b})
+	g.dirty = true
+	return int32(len(g.nodes) - 1)
+}
+
+func (g *Graph) addEdge(from, to int32, w int32) {
+	for i := range g.nodes[from].out {
+		if g.nodes[from].out[i].to == to {
+			g.nodes[from].out[i].weight += w
+			for j := range g.nodes[to].in {
+				if g.nodes[to].in[j].to == from {
+					g.nodes[to].in[j].weight += w
+					return
+				}
+			}
+			return
+		}
+	}
+	g.nodes[from].out = append(g.nodes[from].out, edge{to, w})
+	g.nodes[to].in = append(g.nodes[to].in, edge{from, w})
+	g.dirty = true
+}
+
+// topoOrder returns (computing if needed) a topological order via
+// Kahn's algorithm.
+func (g *Graph) topoOrder() []int32 {
+	if !g.dirty && g.topo != nil {
+		return g.topo
+	}
+	n := len(g.nodes)
+	indeg := make([]int32, n)
+	for i := range g.nodes {
+		for _, e := range g.nodes[i].out {
+			indeg[e.to]++
+		}
+	}
+	order := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range g.nodes[v].out {
+			indeg[e.to]--
+			if indeg[e.to] == 0 {
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	if len(order) != n {
+		panic("poa: graph has a cycle")
+	}
+	g.topo = order
+	g.dirty = false
+	return order
+}
+
+// move codes for backtracking.
+const (
+	moveNone  = 0
+	moveDiag  = 1 // consume graph node + sequence base
+	moveUp    = 2 // consume graph node (deletion in sequence)
+	moveLeft  = 3 // consume sequence base (insertion)
+	moveStart = 4
+)
+
+// AlignMode selects how a sequence is placed against the graph.
+type AlignMode int
+
+// Alignment modes.
+const (
+	// GlobalMode aligns the whole sequence against a full source-to-
+	// sink path of the graph (Racon's window-consensus setting).
+	GlobalMode AlignMode = iota
+	// FitMode aligns the whole sequence against any contiguous part of
+	// the graph: leading and trailing graph nodes are free. Used when
+	// fusing a short chunk into a longer window graph.
+	FitMode
+)
+
+// AddSequence aligns seq to the graph (global alignment) and fuses it
+// in, updating edge weights. The first sequence simply seeds a linear
+// backbone.
+func (g *Graph) AddSequence(seq genome.Seq, p Params) {
+	g.AddSequenceMode(seq, p, GlobalMode)
+}
+
+// AddSequenceMode is AddSequence with an explicit alignment mode.
+func (g *Graph) AddSequenceMode(seq genome.Seq, p Params, mode AlignMode) {
+	if len(seq) == 0 {
+		return
+	}
+	if len(g.nodes) == 0 {
+		prev := int32(-1)
+		for _, b := range seq {
+			id := g.addNode(b)
+			if prev >= 0 {
+				g.addEdge(prev, id, 1)
+			}
+			prev = id
+		}
+		return
+	}
+	order := g.topoOrder()
+	n := len(seq)
+	V := len(order)
+	// rank[v] is the DP row of node v.
+	rank := make([]int32, len(g.nodes))
+	for r, v := range order {
+		rank[v] = int32(r)
+	}
+	width := n + 1
+	score := make([]int32, (V+1)*width)
+	moveT := make([]uint8, (V+1)*width)
+	movePred := make([]int32, (V+1)*width)
+	// Row 0 is the virtual start (no graph node consumed).
+	for j := 1; j <= n; j++ {
+		score[j] = int32(j) * p.Gap
+		moveT[j] = moveLeft
+	}
+	moveT[0] = moveStart
+	// Node rows in topological order.
+	for r, v := range order {
+		row := (r + 1) * width
+		nd := &g.nodes[v]
+		// Column 0: consume graph nodes only. In FitMode leading graph
+		// nodes are free, so every row restarts at zero.
+		if mode == FitMode {
+			score[row] = 0
+			moveT[row] = moveStart
+			movePred[row] = 0
+		} else {
+			best0 := int32(p.Gap) // from virtual start
+			bestP0 := int32(0)    // row index of predecessor (0 = start)
+			if len(nd.in) > 0 {
+				first := true
+				for _, e := range nd.in {
+					pr := int32(rank[e.to]) + 1
+					s := score[pr*int32(width)] + p.Gap
+					if first || s > best0 {
+						best0 = s
+						bestP0 = pr
+						first = false
+					}
+				}
+			}
+			score[row] = best0
+			moveT[row] = moveUp
+			movePred[row] = bestP0
+		}
+		for j := 1; j <= n; j++ {
+			g.CellUpdates++
+			sub := p.Mismatch
+			if nd.base == seq[j-1] {
+				sub = p.Match
+			}
+			var best int32
+			var bestMove uint8
+			var bestPred int32
+			if len(nd.in) == 0 {
+				// Predecessor is the virtual start row.
+				best = score[j-1] + sub
+				bestMove = moveDiag
+				bestPred = 0
+				if s := score[j] + p.Gap; s > best {
+					best = s
+					bestMove = moveUp
+					bestPred = 0
+				}
+			} else {
+				first := true
+				for _, e := range nd.in {
+					pr := (int32(rank[e.to]) + 1) * int32(width)
+					if s := score[pr+int32(j-1)] + sub; first || s > best {
+						best = s
+						bestMove = moveDiag
+						bestPred = (int32(rank[e.to]) + 1)
+						first = false
+					}
+					if s := score[pr+int32(j)] + p.Gap; s > best {
+						best = s
+						bestMove = moveUp
+						bestPred = (int32(rank[e.to]) + 1)
+					}
+				}
+			}
+			if s := score[row+j-1] + p.Gap; s > best {
+				best = s
+				bestMove = moveLeft
+				bestPred = int32(r + 1)
+			}
+			score[row+j] = best
+			moveT[row+j] = bestMove
+			movePred[row+j] = bestPred
+		}
+	}
+	// Global alignment ends having consumed the whole sequence at some
+	// graph sink (node with no out-edges); fit alignment may end at any
+	// node (trailing graph is free). Pick the best admissible row.
+	endRow := int32(-1)
+	var endScore int32
+	for r, v := range order {
+		if mode == GlobalMode && len(g.nodes[v].out) != 0 {
+			continue
+		}
+		s := score[(r+1)*width+n]
+		if endRow < 0 || s > endScore {
+			endRow = int32(r + 1)
+			endScore = s
+		}
+	}
+	if endRow < 0 {
+		endRow = int32(V)
+	}
+
+	// Backtrack into (nodeID, seqPos) alignment pairs.
+	type aligned struct {
+		node int32 // -1 when the base is an insertion
+		pos  int32 // -1 when the node is a deletion
+	}
+	var path []aligned
+	r, j := endRow, n
+	for {
+		cell := r*int32(width) + int32(j)
+		switch moveT[cell] {
+		case moveDiag:
+			path = append(path, aligned{order[r-1], int32(j - 1)})
+			r = movePred[cell]
+			j--
+		case moveUp:
+			path = append(path, aligned{order[r-1], -1})
+			r = movePred[cell]
+		case moveLeft:
+			path = append(path, aligned{-1, int32(j - 1)})
+			j--
+		default:
+			goto done
+		}
+	}
+done:
+	// path is reversed (end to start); fuse walking start to end.
+	prevNode := int32(-1)
+	for i := len(path) - 1; i >= 0; i-- {
+		a := path[i]
+		if a.pos < 0 {
+			continue // deletion: sequence skips this node
+		}
+		b := seq[a.pos]
+		var cur int32
+		if a.node >= 0 && g.nodes[a.node].base == b {
+			cur = a.node
+		} else if a.node >= 0 {
+			// Mismatch: reuse an aligned sibling with this base, or
+			// create one.
+			cur = -1
+			for _, alt := range g.nodes[a.node].alignedTo {
+				if g.nodes[alt].base == b {
+					cur = alt
+					break
+				}
+			}
+			if cur < 0 {
+				cur = g.addNode(b)
+				// Link the new node into the aligned group.
+				group := append([]int32{a.node}, g.nodes[a.node].alignedTo...)
+				for _, m := range group {
+					g.nodes[m].alignedTo = append(g.nodes[m].alignedTo, cur)
+					g.nodes[cur].alignedTo = append(g.nodes[cur].alignedTo, m)
+				}
+			}
+		} else {
+			cur = g.addNode(b) // insertion
+		}
+		if prevNode >= 0 {
+			g.addEdge(prevNode, cur, 1)
+		}
+		prevNode = cur
+	}
+}
+
+// Consensus extracts the heaviest-bundle path: per node, the best
+// in-edge by weight (ties by predecessor score) defines a predecessor;
+// the highest-scoring end node is traced back.
+func (g *Graph) Consensus() genome.Seq {
+	if len(g.nodes) == 0 {
+		return nil
+	}
+	order := g.topoOrder()
+	scores := make([]int64, len(g.nodes))
+	pred := make([]int32, len(g.nodes))
+	for i := range pred {
+		pred[i] = -1
+	}
+	for _, v := range order {
+		nd := &g.nodes[v]
+		for _, e := range nd.in {
+			s := scores[e.to] + int64(e.weight)
+			if pred[v] < 0 || s > scores[v] {
+				scores[v] = s
+				pred[v] = e.to
+			}
+		}
+	}
+	best := order[0]
+	for _, v := range order {
+		if scores[v] > scores[best] {
+			best = v
+		}
+	}
+	var rev genome.Seq
+	for at := best; at >= 0; at = pred[at] {
+		rev = append(rev, g.nodes[at].base)
+	}
+	out := make(genome.Seq, len(rev))
+	for i, b := range rev {
+		out[len(rev)-1-i] = b
+	}
+	return out
+}
+
+// Window is one consensus task: the read chunks covering one target
+// window, processed on a single thread as in Racon.
+type Window struct {
+	Sequences []genome.Seq
+}
+
+// ConsensusOf builds the POA for a window and returns its consensus
+// plus the DP cells computed.
+func ConsensusOf(w *Window, p Params) (genome.Seq, uint64) {
+	g := New()
+	for _, s := range w.Sequences {
+		g.AddSequence(s, p)
+	}
+	return g.Consensus(), g.CellUpdates
+}
+
+// KernelResult aggregates a poa benchmark execution.
+type KernelResult struct {
+	Windows     int
+	CellUpdates uint64
+	Consensi    []genome.Seq
+	TaskStats   *perf.TaskStats
+	Counters    perf.Counters
+}
+
+// RunKernel computes every window consensus with dynamic scheduling.
+func RunKernel(windows []*Window, p Params, threads int) KernelResult {
+	if threads <= 0 {
+		threads = 1
+	}
+	consensi := make([]genome.Seq, len(windows))
+	type ws struct {
+		cells uint64
+		stats *perf.TaskStats
+	}
+	workers := make([]ws, threads)
+	for i := range workers {
+		workers[i].stats = perf.NewTaskStats("cell updates")
+	}
+	parallel.ForEach(len(windows), threads, func(w, i int) {
+		cons, cells := ConsensusOf(windows[i], p)
+		consensi[i] = cons
+		workers[w].cells += cells
+		workers[w].stats.Observe(float64(cells))
+	})
+	res := KernelResult{Windows: len(windows), Consensi: consensi, TaskStats: perf.NewTaskStats("cell updates")}
+	for i := range workers {
+		res.CellUpdates += workers[i].cells
+		res.TaskStats.Merge(workers[i].stats)
+	}
+	// spoa vectorizes the row DP with shifts/blends; graph updates add
+	// pointer-chasing loads.
+	res.Counters.Add(perf.VecOp, res.CellUpdates*4)
+	res.Counters.Add(perf.IntALU, res.CellUpdates*2)
+	res.Counters.Add(perf.Load, res.CellUpdates*3)
+	res.Counters.Add(perf.Store, res.CellUpdates)
+	res.Counters.Add(perf.Branch, res.CellUpdates/2)
+	return res
+}

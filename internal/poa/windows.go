@@ -1,0 +1,107 @@
+package poa
+
+import (
+	"repro/internal/genome"
+	"repro/internal/parallel"
+	"repro/internal/simio"
+)
+
+// Window construction: Racon splits the draft assembly into fixed
+// windows and carves each aligned read into per-window chunks using
+// its CIGAR. This is the glue between the alignment records and the
+// spoa kernel's Window tasks.
+
+// BuildWindows partitions [0, len(draft)) into windowSize slices and
+// assigns each alignment's bases to the windows they cover. Chunks
+// shorter than minChunk bases are dropped (Racon discards fringe
+// fragments that would only add noise). The draft's own sequence seeds
+// every window so consensus is anchored even at low coverage.
+func BuildWindows(draft genome.Seq, alignments []*simio.Alignment, windowSize, minChunk int) []*Window {
+	if windowSize <= 0 {
+		windowSize = 500
+	}
+	if minChunk <= 0 {
+		minChunk = windowSize / 4
+	}
+	n := (len(draft) + windowSize - 1) / windowSize
+	windows := make([]*Window, n)
+	for i := range windows {
+		lo := i * windowSize
+		hi := lo + windowSize
+		if hi > len(draft) {
+			hi = len(draft)
+		}
+		windows[i] = &Window{Sequences: []genome.Seq{draft[lo:hi].Clone()}}
+	}
+	for _, a := range alignments {
+		carveAlignment(a, windowSize, minChunk, windows)
+	}
+	return windows
+}
+
+// carveAlignment walks one CIGAR and appends the read bases covering
+// each window.
+func carveAlignment(a *simio.Alignment, windowSize, minChunk int, windows []*Window) {
+	refPos := a.Pos
+	readPos := 0
+	chunkStart := -1 // read offset where the current window's chunk began
+	curWin := -1
+	flush := func(end int) {
+		if curWin < 0 || chunkStart < 0 {
+			return
+		}
+		if end-chunkStart >= minChunk && curWin < len(windows) {
+			windows[curWin].Sequences = append(windows[curWin].Sequences,
+				a.Seq[chunkStart:end].Clone())
+		}
+		chunkStart = -1
+	}
+	enter := func(win, readOff int) {
+		if win != curWin {
+			flush(readOff)
+			curWin = win
+			chunkStart = readOff
+		}
+	}
+	for _, e := range a.Cigar {
+		switch e.Op {
+		case simio.CigarMatch:
+			for i := 0; i < e.Len; i++ {
+				enter(refPos/windowSize, readPos)
+				refPos++
+				readPos++
+			}
+		case simio.CigarIns:
+			// Insertions stay with the current window's chunk.
+			readPos += e.Len
+		case simio.CigarDel:
+			for i := 0; i < e.Len; i++ {
+				enter(refPos/windowSize, readPos)
+				refPos++
+			}
+		case simio.CigarSoftClip:
+			flush(readPos)
+			readPos += e.Len
+			curWin = -1
+		}
+	}
+	flush(readPos)
+}
+
+// Polish rebuilds the draft from window consensi: the Racon main loop.
+// It returns the polished sequence and total DP cells computed.
+func Polish(draft genome.Seq, alignments []*simio.Alignment, windowSize, minChunk, threads int, p Params) (genome.Seq, uint64) {
+	windows := BuildWindows(draft, alignments, windowSize, minChunk)
+	consensi := make([]genome.Seq, len(windows))
+	cells := make([]uint64, len(windows))
+	parallel.ForEach(len(windows), threads, func(_, i int) {
+		consensi[i], cells[i] = ConsensusOf(windows[i], p)
+	})
+	var out genome.Seq
+	var total uint64
+	for i, c := range consensi {
+		out = append(out, c...)
+		total += cells[i]
+	}
+	return out, total
+}

@@ -1,0 +1,100 @@
+package poa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/simio"
+)
+
+func TestBuildWindowsSeedsDraft(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	draft := genome.Random(rng, 1100)
+	windows := BuildWindows(draft, nil, 500, 100)
+	if len(windows) != 3 {
+		t.Fatalf("got %d windows", len(windows))
+	}
+	if !windows[0].Sequences[0].Equal(draft[:500]) {
+		t.Error("window 0 not seeded with draft slice")
+	}
+	if !windows[2].Sequences[0].Equal(draft[1000:]) {
+		t.Error("tail window not seeded")
+	}
+}
+
+func TestBuildWindowsCarvesAlignments(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	draft := genome.Random(rng, 1000)
+	// One clean alignment spanning both windows.
+	cig, _ := simio.ParseCigar("800M")
+	a := &simio.Alignment{
+		ReadName: "r", RefName: "d", Pos: 100,
+		Cigar: cig, Seq: draft[100:900].Clone(),
+	}
+	windows := BuildWindows(draft, []*simio.Alignment{a}, 500, 100)
+	if len(windows[0].Sequences) != 2 {
+		t.Fatalf("window 0 has %d sequences, want draft + chunk", len(windows[0].Sequences))
+	}
+	// Window 0 chunk covers ref [100,500) -> read offsets [0,400).
+	if !windows[0].Sequences[1].Equal(draft[100:500]) {
+		t.Error("window 0 chunk wrong")
+	}
+	// Window 1 chunk covers ref [500,900).
+	if len(windows[1].Sequences) != 2 || !windows[1].Sequences[1].Equal(draft[500:900]) {
+		t.Error("window 1 chunk wrong")
+	}
+}
+
+func TestBuildWindowsDropsShortChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	draft := genome.Random(rng, 1000)
+	cig, _ := simio.ParseCigar("30M")
+	a := &simio.Alignment{ReadName: "r", Pos: 490, Cigar: cig, Seq: draft[490:520].Clone()}
+	windows := BuildWindows(draft, []*simio.Alignment{a}, 500, 100)
+	// 10 bases in window 0 and 20 in window 1: both below minChunk.
+	if len(windows[0].Sequences) != 1 || len(windows[1].Sequences) != 1 {
+		t.Error("short chunks not dropped")
+	}
+}
+
+func TestPolishImprovesNoisyDraft(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	truth := genome.Random(rng, 1500)
+	// Draft with scattered errors (a raw long-read assembly).
+	draft := truth.Clone()
+	for i := 0; i < 30; i++ {
+		draft[rng.Intn(len(draft))] = genome.Base(rng.Intn(4))
+	}
+	// Accurate reads aligned to the draft at their true positions.
+	var alns []*simio.Alignment
+	for i := 0; i+400 <= len(truth); i += 80 {
+		cig, _ := simio.ParseCigar("400M")
+		alns = append(alns, &simio.Alignment{
+			ReadName: "r", Pos: i, Cigar: cig, Seq: truth[i : i+400].Clone(),
+		})
+	}
+	// A small minChunk keeps window-boundary fragments, which carry the
+	// only coverage over the first/last bases of each window.
+	polished, cells := Polish(draft, alns, 500, 20, 2, DefaultParams())
+	if cells == 0 {
+		t.Fatal("no DP cells computed")
+	}
+	before := editDist(draft, truth)
+	after := editDist(polished, truth)
+	if after >= before {
+		t.Errorf("polishing did not improve draft: %d -> %d edits", before, after)
+	}
+	if after > before/3 {
+		t.Errorf("polished draft still has %d of %d edits", after, before)
+	}
+}
+
+func TestPolishEmptyAlignments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	draft := genome.Random(rng, 600)
+	polished, _ := Polish(draft, nil, 500, 100, 1, DefaultParams())
+	if !polished.Equal(draft) {
+		t.Error("polishing with no reads should reproduce the draft")
+	}
+}

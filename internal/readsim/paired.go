@@ -1,0 +1,91 @@
+package readsim
+
+import (
+	"math"
+
+	"repro/internal/genome"
+)
+
+// Paired-end simulation: Illumina sequencers read both ends of a DNA
+// fragment, giving two reads with a known insert-size distribution and
+// opposite orientations (FR). Paired reads drive the rescue and
+// duplicate-marking logic of short-read pipelines, and give aligners a
+// second anchor in repeats.
+
+// PairedConfig parameterizes fragment and read geometry.
+type PairedConfig struct {
+	Read        ShortConfig
+	MeanInsert  int     // fragment length mean (outer distance)
+	InsertSigma float64 // fragment length standard deviation
+}
+
+// DefaultPaired mirrors a standard 2x151 library with ~400 bp inserts.
+func DefaultPaired() PairedConfig {
+	return PairedConfig{Read: DefaultShort(), MeanInsert: 400, InsertSigma: 50}
+}
+
+// ReadPair is one fragment's two reads. R1 is the forward-strand read
+// at the fragment's left end; R2 is the reverse-complement read at the
+// right end (FR orientation).
+type ReadPair struct {
+	R1, R2   Read
+	Fragment int // true fragment length
+}
+
+// PairedReads samples n fragments from src and returns their read
+// pairs. Fragments shorter than twice the read length are resampled at
+// the minimum workable size.
+func (s *Simulator) PairedReads(src genome.Seq, hap, n int, cfg PairedConfig, namePrefix string) []ReadPair {
+	rl := cfg.Read.Length
+	pairs := make([]ReadPair, 0, n)
+	if len(src) < 2*rl {
+		return pairs
+	}
+	for i := 0; i < n; i++ {
+		frag := int(float64(cfg.MeanInsert) + s.rng.NormFloat64()*cfg.InsertSigma)
+		if frag < 2*rl {
+			frag = 2 * rl
+		}
+		if frag > len(src) {
+			frag = len(src)
+		}
+		start := s.rng.Intn(len(src) - frag + 1)
+		// R1: forward read at the left end.
+		leftTemplate := src[start : start+rl]
+		seq1, qual1 := s.corrupt(leftTemplate, cfg.Read.SubRate, cfg.Read.IndelRate/2, cfg.Read.IndelRate/2, cfg.Read.MeanQual, cfg.Read.QualSpan)
+		// R2: reverse-complement read at the right end.
+		rightTemplate := src[start+frag-rl : start+frag].ReverseComplement()
+		seq2, qual2 := s.corrupt(rightTemplate, cfg.Read.SubRate, cfg.Read.IndelRate/2, cfg.Read.IndelRate/2, cfg.Read.MeanQual, cfg.Read.QualSpan)
+		name := readName(namePrefix, i)
+		pairs = append(pairs, ReadPair{
+			R1: Read{
+				Name: name + "/1", Seq: seq1, Qual: qual1,
+				RefPos: start, RefEnd: start + rl, Reverse: false, Hap: hap,
+			},
+			R2: Read{
+				Name: name + "/2", Seq: seq2, Qual: qual2,
+				RefPos: start + frag - rl, RefEnd: start + frag, Reverse: true, Hap: hap,
+			},
+			Fragment: frag,
+		})
+	}
+	return pairs
+}
+
+// InsertStats summarizes the empirical insert-size distribution of a
+// pair set — the statistic aligners estimate for rescue.
+func InsertStats(pairs []ReadPair) (mean, stdev float64) {
+	if len(pairs) == 0 {
+		return 0, 0
+	}
+	for _, p := range pairs {
+		mean += float64(p.Fragment)
+	}
+	mean /= float64(len(pairs))
+	for _, p := range pairs {
+		d := float64(p.Fragment) - mean
+		stdev += d * d
+	}
+	stdev = math.Sqrt(stdev / float64(len(pairs)))
+	return mean, stdev
+}

@@ -1,0 +1,84 @@
+package readsim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/genome"
+)
+
+func TestPairedReadsGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := genome.NewReference(rng, "chr", 50_000, 0).Seq
+	sim := New(2)
+	cfg := DefaultPaired()
+	pairs := sim.PairedReads(src, -1, 200, cfg, "frag")
+	if len(pairs) != 200 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.R1.Reverse || !p.R2.Reverse {
+			t.Fatal("FR orientation violated")
+		}
+		if p.R1.RefPos+p.Fragment != p.R2.RefEnd {
+			t.Fatalf("fragment geometry wrong: R1 at %d, frag %d, R2 end %d",
+				p.R1.RefPos, p.Fragment, p.R2.RefEnd)
+		}
+		if !strings.HasSuffix(p.R1.Name, "/1") || !strings.HasSuffix(p.R2.Name, "/2") {
+			t.Fatal("mate naming wrong")
+		}
+		if p.Fragment < 2*cfg.Read.Length {
+			t.Fatalf("fragment %d shorter than two reads", p.Fragment)
+		}
+	}
+}
+
+func TestPairedInsertDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := genome.NewReference(rng, "chr", 100_000, 0).Seq
+	sim := New(4)
+	cfg := DefaultPaired()
+	pairs := sim.PairedReads(src, -1, 500, cfg, "f")
+	mean, stdev := InsertStats(pairs)
+	if math.Abs(mean-400) > 15 {
+		t.Errorf("mean insert %.1f, want ~400", mean)
+	}
+	if stdev < 30 || stdev > 70 {
+		t.Errorf("insert stdev %.1f, want ~50", stdev)
+	}
+}
+
+func TestPairedErrorFreeMatchesSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := genome.NewReference(rng, "chr", 20_000, 0).Seq
+	sim := New(6)
+	cfg := DefaultPaired()
+	cfg.Read.SubRate = 0
+	cfg.Read.IndelRate = 0
+	pairs := sim.PairedReads(src, -1, 50, cfg, "f")
+	for _, p := range pairs {
+		want1 := src[p.R1.RefPos:p.R1.RefEnd]
+		if !p.R1.Seq.Equal(want1) {
+			t.Fatal("R1 does not match its fragment")
+		}
+		want2 := src[p.R2.RefPos:p.R2.RefEnd].ReverseComplement()
+		if !p.R2.Seq.Equal(want2) {
+			t.Fatal("R2 does not match its fragment")
+		}
+	}
+}
+
+func TestPairedShortSource(t *testing.T) {
+	sim := New(7)
+	if pairs := sim.PairedReads(genome.MustFromString("ACGT"), -1, 5, DefaultPaired(), "f"); len(pairs) != 0 {
+		t.Error("expected no pairs from tiny source")
+	}
+}
+
+func TestInsertStatsEmpty(t *testing.T) {
+	if m, s := InsertStats(nil); m != 0 || s != 0 {
+		t.Error("empty stats nonzero")
+	}
+}

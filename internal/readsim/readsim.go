@@ -1,0 +1,210 @@
+// Package readsim simulates sequencing reads from a genome, replacing
+// the human datasets (SRR7733443 short reads, Nanopore WGS Consortium
+// long reads) that GenomicsBench ships but which cannot be redistributed
+// here. The simulators control exactly the statistical properties the
+// kernels are sensitive to: read length, per-base error rate and type,
+// base-quality distribution, and coverage.
+package readsim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/genome"
+)
+
+// Read is a simulated sequencing read.
+type Read struct {
+	Name    string
+	Seq     genome.Seq
+	Qual    []byte // Phred quality per base (not ASCII-offset)
+	RefPos  int    // true sampling position on the reference/haplotype
+	RefEnd  int    // one past the last reference base covered
+	Reverse bool   // sampled from the reverse strand
+	Hap     int    // haplotype of origin (0 or 1); -1 if from reference
+}
+
+// ShortConfig parameterizes Illumina-like reads: fixed length, low
+// substitution-dominated error, high quality.
+type ShortConfig struct {
+	Length    int     // read length in bases (paper: 151)
+	SubRate   float64 // substitution probability per base
+	IndelRate float64 // insertion/deletion probability per base
+	MeanQual  float64 // mean Phred quality
+	QualSpan  float64 // quality jitter
+}
+
+// DefaultShort mirrors the paper's 151-base Illumina reads.
+func DefaultShort() ShortConfig {
+	return ShortConfig{Length: 151, SubRate: 0.002, IndelRate: 0.0002, MeanQual: 35, QualSpan: 6}
+}
+
+// LongConfig parameterizes ONT-like reads: log-normal length mixture and
+// 5-15% errors split across substitutions and indels.
+type LongConfig struct {
+	MeanLength  int     // mean read length (paper reads: kilobases)
+	MinLength   int     // floor on sampled lengths
+	ErrorRate   float64 // total per-base error probability (0.05-0.15)
+	InsFraction float64 // fraction of errors that are insertions
+	DelFraction float64 // fraction of errors that are deletions
+	LengthSigma float64 // log-normal sigma of the length distribution
+	MeanQual    float64
+	QualSpan    float64
+}
+
+// DefaultLong mirrors ONT-style reads with ~10% error.
+func DefaultLong() LongConfig {
+	return LongConfig{
+		MeanLength: 8000, MinLength: 500,
+		ErrorRate: 0.10, InsFraction: 0.3, DelFraction: 0.3,
+		LengthSigma: 0.5, MeanQual: 12, QualSpan: 4,
+	}
+}
+
+// Simulator draws reads from a genome (reference or donor haplotypes).
+type Simulator struct {
+	rng *rand.Rand
+}
+
+// New creates a simulator with its own seeded source.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// sampleQual draws a Phred quality clamped to [2, 60].
+func (s *Simulator) sampleQual(mean, span float64) byte {
+	q := mean + s.rng.NormFloat64()*span
+	if q < 2 {
+		q = 2
+	}
+	if q > 60 {
+		q = 60
+	}
+	return byte(q)
+}
+
+// corrupt applies substitutions and indels to a perfect read fragment,
+// returning the erroneous sequence and matching qualities. Error
+// positions get depressed quality (the basecaller "knows" it is unsure),
+// which matters for phmm's quality-weighted priors.
+func (s *Simulator) corrupt(frag genome.Seq, subRate, insRate, delRate, meanQ, spanQ float64) (genome.Seq, []byte) {
+	out := make(genome.Seq, 0, len(frag)+8)
+	qual := make([]byte, 0, len(frag)+8)
+	for _, b := range frag {
+		r := s.rng.Float64()
+		switch {
+		case r < delRate:
+			continue // base dropped
+		case r < delRate+insRate:
+			out = append(out, genome.Base(s.rng.Intn(4)), b)
+			qual = append(qual, s.sampleQual(meanQ/2, spanQ), s.sampleQual(meanQ, spanQ))
+		case r < delRate+insRate+subRate:
+			alt := genome.Base(s.rng.Intn(3))
+			if alt >= b {
+				alt++
+			}
+			out = append(out, alt)
+			qual = append(qual, s.sampleQual(meanQ/2, spanQ))
+		default:
+			out = append(out, b)
+			qual = append(qual, s.sampleQual(meanQ, spanQ))
+		}
+	}
+	return out, qual
+}
+
+// ShortReads samples n short reads uniformly from src (hap labels the
+// sequence of origin; pass -1 for a plain reference).
+func (s *Simulator) ShortReads(src genome.Seq, hap, n int, cfg ShortConfig, namePrefix string) []Read {
+	reads := make([]Read, 0, n)
+	if len(src) < cfg.Length {
+		return reads
+	}
+	for i := 0; i < n; i++ {
+		pos := s.rng.Intn(len(src) - cfg.Length + 1)
+		frag := src[pos : pos+cfg.Length]
+		reverse := s.rng.Intn(2) == 1
+		template := frag
+		if reverse {
+			template = frag.ReverseComplement()
+		}
+		seq, qual := s.corrupt(template, cfg.SubRate, cfg.IndelRate/2, cfg.IndelRate/2, cfg.MeanQual, cfg.QualSpan)
+		reads = append(reads, Read{
+			Name:    readName(namePrefix, i),
+			Seq:     seq,
+			Qual:    qual,
+			RefPos:  pos,
+			RefEnd:  pos + cfg.Length,
+			Reverse: reverse,
+			Hap:     hap,
+		})
+	}
+	return reads
+}
+
+// LongReads samples n long reads with log-normal lengths from src.
+func (s *Simulator) LongReads(src genome.Seq, hap, n int, cfg LongConfig, namePrefix string) []Read {
+	reads := make([]Read, 0, n)
+	if len(src) < cfg.MinLength {
+		return reads
+	}
+	mu := math.Log(float64(cfg.MeanLength)) - cfg.LengthSigma*cfg.LengthSigma/2
+	subRate := cfg.ErrorRate * (1 - cfg.InsFraction - cfg.DelFraction)
+	insRate := cfg.ErrorRate * cfg.InsFraction
+	delRate := cfg.ErrorRate * cfg.DelFraction
+	for i := 0; i < n; i++ {
+		length := int(math.Exp(mu + s.rng.NormFloat64()*cfg.LengthSigma))
+		if length < cfg.MinLength {
+			length = cfg.MinLength
+		}
+		if length > len(src) {
+			length = len(src)
+		}
+		pos := s.rng.Intn(len(src) - length + 1)
+		frag := src[pos : pos+length]
+		reverse := s.rng.Intn(2) == 1
+		template := frag
+		if reverse {
+			template = frag.ReverseComplement()
+		}
+		seq, qual := s.corrupt(template, subRate, insRate, delRate, cfg.MeanQual, cfg.QualSpan)
+		reads = append(reads, Read{
+			Name:    readName(namePrefix, i),
+			Seq:     seq,
+			Qual:    qual,
+			RefPos:  pos,
+			RefEnd:  pos + length,
+			Reverse: reverse,
+			Hap:     hap,
+		})
+	}
+	return reads
+}
+
+// CoverageReads samples enough short reads from both donor haplotypes to
+// reach the requested mean coverage depth, as variant-calling kernels
+// (dbg, phmm, pileup) require 30-50x coverage.
+func (s *Simulator) CoverageReads(donor *genome.Donor, coverage float64, cfg ShortConfig, namePrefix string) []Read {
+	total := int(coverage * float64(len(donor.Ref.Seq)) / float64(cfg.Length))
+	perHap := total / 2
+	reads := s.ShortReads(donor.Haps[0], 0, perHap, cfg, namePrefix+"h0-")
+	reads = append(reads, s.ShortReads(donor.Haps[1], 1, total-perHap, cfg, namePrefix+"h1-")...)
+	return reads
+}
+
+func readName(prefix string, i int) string {
+	const digits = "0123456789"
+	buf := []byte(prefix)
+	if i == 0 {
+		return string(append(buf, '0'))
+	}
+	start := len(buf)
+	for i > 0 {
+		buf = append(buf, digits[i%10])
+		i /= 10
+	}
+	for l, r := start, len(buf)-1; l < r; l, r = l+1, r-1 {
+		buf[l], buf[r] = buf[r], buf[l]
+	}
+	return string(buf)
+}

@@ -1,0 +1,174 @@
+package readsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+)
+
+func testRef(t *testing.T, n int) *genome.Reference {
+	t.Helper()
+	return genome.NewReference(rand.New(rand.NewSource(1)), "ref", n, 0.1)
+}
+
+func TestShortReadsBasicProperties(t *testing.T) {
+	ref := testRef(t, 10000)
+	sim := New(7)
+	cfg := DefaultShort()
+	reads := sim.ShortReads(ref.Seq, -1, 50, cfg, "r")
+	if len(reads) != 50 {
+		t.Fatalf("got %d reads", len(reads))
+	}
+	for _, r := range reads {
+		if len(r.Seq) != len(r.Qual) {
+			t.Fatalf("read %s: seq %d vs qual %d", r.Name, len(r.Seq), len(r.Qual))
+		}
+		// Length can vary slightly due to indels.
+		if len(r.Seq) < cfg.Length-10 || len(r.Seq) > cfg.Length+10 {
+			t.Errorf("read %s length %d far from %d", r.Name, len(r.Seq), cfg.Length)
+		}
+		if r.RefPos < 0 || r.RefEnd > len(ref.Seq) {
+			t.Errorf("read %s out-of-range coords %d..%d", r.Name, r.RefPos, r.RefEnd)
+		}
+		for _, q := range r.Qual {
+			if q < 2 || q > 60 {
+				t.Fatalf("quality %d out of range", q)
+			}
+		}
+	}
+}
+
+func TestShortReadsErrorFreeMatchReference(t *testing.T) {
+	ref := testRef(t, 5000)
+	sim := New(3)
+	cfg := ShortConfig{Length: 100, SubRate: 0, IndelRate: 0, MeanQual: 40, QualSpan: 0}
+	reads := sim.ShortReads(ref.Seq, -1, 20, cfg, "r")
+	for _, r := range reads {
+		frag := ref.Seq[r.RefPos:r.RefEnd]
+		want := frag
+		if r.Reverse {
+			want = frag.ReverseComplement()
+		}
+		if !r.Seq.Equal(want) {
+			t.Fatalf("error-free read %s does not match its source fragment", r.Name)
+		}
+	}
+}
+
+func TestShortReadsErrorRateApprox(t *testing.T) {
+	ref := testRef(t, 20000)
+	sim := New(11)
+	cfg := ShortConfig{Length: 151, SubRate: 0.05, IndelRate: 0, MeanQual: 30, QualSpan: 0}
+	reads := sim.ShortReads(ref.Seq, -1, 200, cfg, "r")
+	var mismatches, total int
+	for _, r := range reads {
+		frag := ref.Seq[r.RefPos:r.RefEnd]
+		if r.Reverse {
+			frag = frag.ReverseComplement()
+		}
+		for i := range r.Seq {
+			if r.Seq[i] != frag[i] {
+				mismatches++
+			}
+			total++
+		}
+	}
+	rate := float64(mismatches) / float64(total)
+	if math.Abs(rate-0.05) > 0.01 {
+		t.Errorf("observed substitution rate %.4f, want ~0.05", rate)
+	}
+}
+
+func TestLongReadsLengthDistribution(t *testing.T) {
+	ref := testRef(t, 200000)
+	sim := New(13)
+	cfg := DefaultLong()
+	reads := sim.LongReads(ref.Seq, -1, 100, cfg, "l")
+	if len(reads) != 100 {
+		t.Fatalf("got %d reads", len(reads))
+	}
+	var sum, minLen, maxLen int
+	minLen = 1 << 30
+	for _, r := range reads {
+		n := len(r.Seq)
+		sum += n
+		if n < minLen {
+			minLen = n
+		}
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	mean := float64(sum) / 100
+	if mean < 4000 || mean > 16000 {
+		t.Errorf("mean long-read length %.0f outside plausible band", mean)
+	}
+	if minLen == maxLen {
+		t.Error("long-read lengths show no variation")
+	}
+}
+
+func TestLongReadsErrorRate(t *testing.T) {
+	ref := testRef(t, 100000)
+	sim := New(17)
+	cfg := DefaultLong()
+	cfg.MeanLength = 3000
+	reads := sim.LongReads(ref.Seq, -1, 30, cfg, "l")
+	// Length difference from indels should be visible but bounded.
+	for _, r := range reads {
+		orig := r.RefEnd - r.RefPos
+		drift := math.Abs(float64(len(r.Seq)-orig)) / float64(orig)
+		if drift > 0.2 {
+			t.Errorf("read %s length drift %.2f too large", r.Name, drift)
+		}
+	}
+}
+
+func TestCoverageReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := genome.NewReference(rng, "ref", 30000, 0)
+	donor := genome.PlantVariants(rng, ref, 0.001, 0.0001)
+	sim := New(19)
+	reads := sim.CoverageReads(donor, 10, DefaultShort(), "cov")
+	wantReads := int(10 * 30000 / 151)
+	if len(reads) != wantReads {
+		t.Errorf("got %d reads, want %d", len(reads), wantReads)
+	}
+	hapCounts := map[int]int{}
+	for _, r := range reads {
+		hapCounts[r.Hap]++
+	}
+	if hapCounts[0] == 0 || hapCounts[1] == 0 {
+		t.Error("coverage reads missing a haplotype")
+	}
+}
+
+func TestSimulatorDeterminism(t *testing.T) {
+	ref := testRef(t, 5000)
+	a := New(99).ShortReads(ref.Seq, -1, 10, DefaultShort(), "r")
+	b := New(99).ShortReads(ref.Seq, -1, 10, DefaultShort(), "r")
+	for i := range a {
+		if !a[i].Seq.Equal(b[i].Seq) || a[i].RefPos != b[i].RefPos {
+			t.Fatal("same seed produced different reads")
+		}
+	}
+}
+
+func TestReadName(t *testing.T) {
+	if got := readName("r", 0); got != "r0" {
+		t.Errorf("readName(r,0) = %s", got)
+	}
+	if got := readName("x-", 1234); got != "x-1234" {
+		t.Errorf("readName(x-,1234) = %s", got)
+	}
+}
+
+func TestShortReadsTooShortSource(t *testing.T) {
+	sim := New(1)
+	reads := sim.ShortReads(genome.MustFromString("ACGT"), -1, 5, DefaultShort(), "r")
+	if len(reads) != 0 {
+		t.Error("expected no reads from a too-short source")
+	}
+}

@@ -1,0 +1,97 @@
+package signalsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Per-read calibration: every pore drifts, so raw currents relate to
+// the model by an affine transform (scale, shift) that differs per
+// read. Nanopolish estimates these scalings before event alignment;
+// without them the log-likelihoods are meaningless. This file adds
+// drift to the simulator and the method-of-moments estimator that
+// recovers it.
+
+// Drift is one read's affine distortion: observed = scale*ideal + shift.
+type Drift struct {
+	Scale float32
+	Shift float32
+}
+
+// Identity is the no-drift transform.
+var Identity = Drift{Scale: 1, Shift: 0}
+
+// RandomDrift draws a realistic pore drift: scale within ±10%, shift
+// within ±8 pA.
+func RandomDrift(rng *rand.Rand) Drift {
+	return Drift{
+		Scale: float32(0.9 + 0.2*rng.Float64()),
+		Shift: float32((rng.Float64() - 0.5) * 16),
+	}
+}
+
+// Apply distorts events in place and returns them.
+func (d Drift) Apply(events []Event) []Event {
+	for i := range events {
+		events[i].Mean = d.Scale*events[i].Mean + d.Shift
+	}
+	return events
+}
+
+// Invert returns the transform mapping observed currents back to model
+// space.
+func (d Drift) Invert() Drift {
+	return Drift{Scale: 1 / d.Scale, Shift: -d.Shift / d.Scale}
+}
+
+// Calibrate estimates the drift of a read against a pore model by the
+// method of moments: the observed event mean/stdev must match the
+// model's marginal mean/stdev over the k-mers actually visited.
+// Nanopolish does the same before its first alignment pass (then
+// refines with an EM step; the first pass is what matters here).
+func Calibrate(model *PoreModel, events []Event) Drift {
+	if len(events) == 0 {
+		return Identity
+	}
+	var obsMean, obsVar float64
+	for _, e := range events {
+		obsMean += float64(e.Mean)
+	}
+	obsMean /= float64(len(events))
+	for _, e := range events {
+		d := float64(e.Mean) - obsMean
+		obsVar += d * d
+	}
+	obsVar /= float64(len(events))
+
+	// Model marginals over all k-mers (the read visits a large random
+	// sample of them, so the global marginal is the right reference).
+	var mMean, mVar float64
+	n := float64(model.NumKmers())
+	for _, v := range model.Mean {
+		mMean += float64(v)
+	}
+	mMean /= n
+	for _, v := range model.Mean {
+		d := float64(v) - mMean
+		mVar += d * d
+	}
+	mVar /= n
+
+	if mVar <= 0 || obsVar <= 0 {
+		return Identity
+	}
+	scale := math.Sqrt(obsVar / mVar)
+	shift := obsMean - scale*mMean
+	return Drift{Scale: float32(scale), Shift: float32(shift)}
+}
+
+// CalibrateEvents normalizes events into model space using the
+// estimated drift, returning corrected copies.
+func CalibrateEvents(model *PoreModel, events []Event) []Event {
+	d := Calibrate(model, events)
+	inv := d.Invert()
+	out := make([]Event, len(events))
+	copy(out, events)
+	return inv.Apply(out)
+}

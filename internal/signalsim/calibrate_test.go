@@ -1,0 +1,70 @@
+package signalsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+)
+
+func TestCalibrateRecoversDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	model := NewPoreModel()
+	seq := genome.Random(rng, 2000)
+	clean := Simulate(rng, model, seq, Config{OversegmentationRate: 0.3, SkipRate: 0.05, NoiseScale: 0.5, MeanDwell: 5})
+	truth := Drift{Scale: 1.07, Shift: -5.5}
+	drifted := truth.Apply(append([]Event(nil), clean...))
+	est := Calibrate(model, drifted)
+	if math.Abs(float64(est.Scale-truth.Scale)) > 0.03 {
+		t.Errorf("scale %v, want ~%v", est.Scale, truth.Scale)
+	}
+	if math.Abs(float64(est.Shift-truth.Shift)) > 3 {
+		t.Errorf("shift %v, want ~%v", est.Shift, truth.Shift)
+	}
+}
+
+func TestCalibrateEventsRestoreAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	model := NewPoreModel()
+	seq := genome.Random(rng, 500)
+	clean := Simulate(rng, model, seq, Config{OversegmentationRate: 0.3, SkipRate: 0.05, NoiseScale: 0.6, MeanDwell: 5})
+	drift := RandomDrift(rng)
+	drifted := drift.Apply(append([]Event(nil), clean...))
+	restored := CalibrateEvents(model, drifted)
+	// Restored event means should sit close to the clean ones.
+	var worst float64
+	for i := range clean {
+		d := math.Abs(float64(restored[i].Mean - clean[i].Mean))
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 6 {
+		t.Errorf("worst restored deviation %.1f pA", worst)
+	}
+}
+
+func TestDriftInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		d := RandomDrift(rng)
+		inv := d.Invert()
+		x := float32(60 + rng.Float64()*70)
+		y := inv.Scale*(d.Scale*x+d.Shift) + inv.Shift
+		if math.Abs(float64(y-x)) > 1e-3 {
+			t.Fatalf("invert round trip %v -> %v", x, y)
+		}
+	}
+}
+
+func TestCalibrateDegenerate(t *testing.T) {
+	model := NewPoreModel()
+	if d := Calibrate(model, nil); d != Identity {
+		t.Error("empty events should calibrate to identity")
+	}
+	flat := []Event{{Mean: 80}, {Mean: 80}}
+	if d := Calibrate(model, flat); d != Identity {
+		t.Error("zero-variance events should calibrate to identity")
+	}
+}

@@ -1,0 +1,126 @@
+package simio
+
+import (
+	"math/rand"
+
+	"repro/internal/genome"
+)
+
+// AlignSimConfig parameterizes simulated alignment records: reads are
+// sampled from the reference and corrupted, with the true CIGAR
+// recorded — standing in for the Minimap2-aligned ONT reads the paper's
+// pileup kernel consumes.
+type AlignSimConfig struct {
+	MeanReadLen int
+	SubRate     float64
+	InsRate     float64
+	DelRate     float64
+	MeanQual    float64
+	RefName     string
+}
+
+// DefaultAlignSim mirrors ONT alignments: long reads, ~10% error split
+// across substitutions and indels.
+func DefaultAlignSim() AlignSimConfig {
+	return AlignSimConfig{
+		MeanReadLen: 4000,
+		SubRate:     0.04,
+		InsRate:     0.03,
+		DelRate:     0.03,
+		MeanQual:    12,
+		RefName:     "ref",
+	}
+}
+
+// SimulateAlignments draws n alignment records against ref. Each
+// record's CIGAR reflects exactly the edits applied to its read.
+func SimulateAlignments(rng *rand.Rand, ref genome.Seq, n int, cfg AlignSimConfig) []*Alignment {
+	out := make([]*Alignment, 0, n)
+	for i := 0; i < n; i++ {
+		length := cfg.MeanReadLen/2 + rng.Intn(cfg.MeanReadLen)
+		if length >= len(ref) {
+			length = len(ref) - 1
+		}
+		if length < 1 {
+			break
+		}
+		pos := rng.Intn(len(ref) - length)
+		a := simulateOne(rng, ref, pos, length, &cfg)
+		a.ReadName = "aln-" + itoa(i)
+		out = append(out, a)
+	}
+	return out
+}
+
+func simulateOne(rng *rand.Rand, ref genome.Seq, pos, refLen int, cfg *AlignSimConfig) *Alignment {
+	var seq genome.Seq
+	var qual []byte
+	var cig Cigar
+	addOp := func(op CigarOp, n int) {
+		if n == 0 {
+			return
+		}
+		if len(cig) > 0 && cig[len(cig)-1].Op == op {
+			cig[len(cig)-1].Len += n
+			return
+		}
+		cig = append(cig, CigarElem{Len: n, Op: op})
+	}
+	q := func() byte {
+		v := cfg.MeanQual + rng.NormFloat64()*3
+		if v < 2 {
+			v = 2
+		}
+		if v > 60 {
+			v = 60
+		}
+		return byte(v)
+	}
+	for r := pos; r < pos+refLen; r++ {
+		roll := rng.Float64()
+		switch {
+		case roll < cfg.DelRate:
+			addOp(CigarDel, 1)
+		case roll < cfg.DelRate+cfg.InsRate:
+			seq = append(seq, genome.Base(rng.Intn(4)), ref[r])
+			qual = append(qual, q(), q())
+			addOp(CigarIns, 1)
+			addOp(CigarMatch, 1)
+		case roll < cfg.DelRate+cfg.InsRate+cfg.SubRate:
+			alt := genome.Base(rng.Intn(3))
+			if alt >= ref[r] {
+				alt++
+			}
+			seq = append(seq, alt)
+			qual = append(qual, q())
+			addOp(CigarMatch, 1)
+		default:
+			seq = append(seq, ref[r])
+			qual = append(qual, q())
+			addOp(CigarMatch, 1)
+		}
+	}
+	return &Alignment{
+		RefName: cfg.RefName,
+		Pos:     pos,
+		MapQ:    60,
+		Cigar:   cig,
+		Seq:     seq,
+		Qual:    qual,
+		Reverse: rng.Intn(2) == 1,
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}

@@ -1,0 +1,74 @@
+package simio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+)
+
+func TestGzipFastqRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var records []FastqRecord
+	for i := 0; i < 10; i++ {
+		seq := genome.Random(rng, 151)
+		qual := make([]byte, 151)
+		for j := range qual {
+			qual[j] = byte(30 + rng.Intn(10))
+		}
+		records = append(records, FastqRecord{Name: "r", Seq: seq, Qual: qual})
+	}
+	var buf bytes.Buffer
+	if err := WriteFastqGzip(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 || buf.Bytes()[0] != 0x1f {
+		t.Fatal("output not gzipped")
+	}
+	got, err := ReadFastqAuto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("round trip %d -> %d records", len(records), len(got))
+	}
+	for i := range records {
+		if !got[i].Seq.Equal(records[i].Seq) {
+			t.Fatal("sequence corrupted")
+		}
+	}
+}
+
+func TestGzipFastaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	records := []FastaRecord{{Name: "chr", Seq: genome.Random(rng, 500)}}
+	var buf bytes.Buffer
+	if err := WriteFastaGzip(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFastaAuto(&buf)
+	if err != nil || len(got) != 1 || !got[0].Seq.Equal(records[0].Seq) {
+		t.Fatalf("gzip FASTA round trip failed: %v", err)
+	}
+}
+
+func TestAutoReadersAcceptPlainText(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	records := []FastaRecord{{Name: "chr", Seq: genome.Random(rng, 100)}}
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFastaAuto(&buf)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("plain FASTA through auto reader failed: %v", err)
+	}
+}
+
+func TestMaybeGzipShortInput(t *testing.T) {
+	r, err := MaybeGzip(bytes.NewReader([]byte{'x'}))
+	if err != nil || r == nil {
+		t.Fatal("short input should pass through")
+	}
+}

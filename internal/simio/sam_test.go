@@ -1,0 +1,78 @@
+package simio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/genome"
+)
+
+func TestSAMRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := genome.Random(rng, 2000)
+	alns := SimulateAlignments(rng, ref, 20, DefaultAlignSim())
+	var buf bytes.Buffer
+	if err := WriteSAM(&buf, []FastaRecord{{Name: "ref", Seq: ref}}, alns); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "@SQ\tSN:ref\tLN:2000") {
+		t.Error("missing @SQ header")
+	}
+	back, err := ReadSAM(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(alns) {
+		t.Fatalf("round trip %d -> %d records", len(alns), len(back))
+	}
+	for i, a := range alns {
+		b := back[i]
+		if a.ReadName != b.ReadName || a.Pos != b.Pos || a.Reverse != b.Reverse {
+			t.Fatalf("record %d header mismatch", i)
+		}
+		if a.Cigar.String() != b.Cigar.String() {
+			t.Fatalf("record %d CIGAR %s != %s", i, a.Cigar, b.Cigar)
+		}
+		if !a.Seq.Equal(b.Seq) {
+			t.Fatalf("record %d sequence mismatch", i)
+		}
+		for j := range a.Qual {
+			if a.Qual[j] != b.Qual[j] {
+				t.Fatalf("record %d quality mismatch at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadSAMRejectsBadRecords(t *testing.T) {
+	cases := []string{
+		"r\tx\tref\t1\t60\t4M\t*\t0\t0\tACGT\tIIII\n",  // bad flag
+		"r\t0\tref\tz\t60\t4M\t*\t0\t0\tACGT\tIIII\n",  // bad pos
+		"r\t0\tref\t1\t999\t4M\t*\t0\t0\tACGT\tIIII\n", // bad mapq
+		"r\t0\tref\t1\t60\t5M\t*\t0\t0\tACGT\tIIII\n",  // CIGAR/seq mismatch
+		"r\t0\tref\t1\t60\t4M\t*\t0\t0\tACGT\n",        // short line
+	}
+	for _, c := range cases {
+		if _, err := ReadSAM(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestSAMStarFields(t *testing.T) {
+	a := &Alignment{ReadName: "r", RefName: "ref", Pos: 4, MapQ: 0}
+	var buf bytes.Buffer
+	if err := WriteSAM(&buf, nil, []*Alignment{a}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSAM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Seq != nil || back[0].Qual != nil || back[0].Cigar != nil {
+		t.Errorf("star fields not preserved: %+v", back[0])
+	}
+}

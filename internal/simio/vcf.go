@@ -1,0 +1,129 @@
+package simio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/genome"
+)
+
+// VCF-lite: enough of the Variant Call Format for the suite's variant
+// pipelines to emit and re-read their calls (single sample, SNVs and
+// small indels, GT field only).
+
+// Genotype is a diploid genotype call.
+type Genotype int
+
+// Genotype values.
+const (
+	HomRef Genotype = iota
+	Het
+	HomAlt
+)
+
+// String renders the GT field.
+func (g Genotype) String() string {
+	switch g {
+	case Het:
+		return "0/1"
+	case HomAlt:
+		return "1/1"
+	default:
+		return "0/0"
+	}
+}
+
+// VCFRecord is one variant call.
+type VCFRecord struct {
+	Chrom    string
+	Pos      int // 0-based internally; written 1-based
+	Ref      genome.Seq
+	Alt      genome.Seq
+	Qual     float64
+	Genotype Genotype
+}
+
+// WriteVCF writes a minimal single-sample VCF.
+func WriteVCF(w io.Writer, sample string, records []VCFRecord) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "##fileformat=VCFv4.2")
+	fmt.Fprintln(bw, "##source=genomicsbench-go")
+	fmt.Fprintln(bw, `##FORMAT=<ID=GT,Number=1,Type=String,Description="Genotype">`)
+	fmt.Fprintf(bw, "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\t%s\n", sample)
+	sorted := append([]VCFRecord(nil), records...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Chrom != sorted[j].Chrom {
+			return sorted[i].Chrom < sorted[j].Chrom
+		}
+		return sorted[i].Pos < sorted[j].Pos
+	})
+	for _, r := range sorted {
+		ref := r.Ref.String()
+		alt := r.Alt.String()
+		if ref == "" {
+			ref = "."
+		}
+		if alt == "" {
+			alt = "."
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t.\t%s\t%s\t%.1f\tPASS\t.\tGT\t%s\n",
+			r.Chrom, r.Pos+1, ref, alt, r.Qual, r.Genotype); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadVCF parses a VCF written by WriteVCF (single sample, GT only).
+func ReadVCF(r io.Reader) ([]VCFRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []VCFRecord
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 10 {
+			return nil, fmt.Errorf("simio: VCF line has %d fields, want 10", len(fields))
+		}
+		pos, err := strconv.Atoi(fields[1])
+		if err != nil || pos < 1 {
+			return nil, fmt.Errorf("simio: bad VCF position %q", fields[1])
+		}
+		rec := VCFRecord{Chrom: fields[0], Pos: pos - 1}
+		if fields[3] != "." {
+			if rec.Ref, err = genome.FromString(fields[3]); err != nil {
+				return nil, err
+			}
+		}
+		if fields[4] != "." {
+			if rec.Alt, err = genome.FromString(fields[4]); err != nil {
+				return nil, err
+			}
+		}
+		if rec.Qual, err = strconv.ParseFloat(fields[5], 64); err != nil {
+			return nil, fmt.Errorf("simio: bad VCF quality %q", fields[5])
+		}
+		switch fields[9] {
+		case "0/1", "1/0":
+			rec.Genotype = Het
+		case "1/1":
+			rec.Genotype = HomAlt
+		case "0/0":
+			rec.Genotype = HomRef
+		default:
+			return nil, fmt.Errorf("simio: unsupported genotype %q", fields[9])
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

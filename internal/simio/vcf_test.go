@@ -1,0 +1,75 @@
+package simio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/genome"
+)
+
+func TestVCFRoundTrip(t *testing.T) {
+	records := []VCFRecord{
+		{Chrom: "chr1", Pos: 99, Ref: genome.MustFromString("A"), Alt: genome.MustFromString("T"), Qual: 42.5, Genotype: Het},
+		{Chrom: "chr1", Pos: 9, Ref: genome.MustFromString("AC"), Alt: genome.MustFromString("A"), Qual: 10, Genotype: HomAlt},
+		{Chrom: "chr2", Pos: 0, Ref: genome.MustFromString("G"), Alt: genome.MustFromString("GTT"), Qual: 99.9, Genotype: HomRef},
+	}
+	var buf bytes.Buffer
+	if err := WriteVCF(&buf, "sample1", records); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "##fileformat=VCFv4.2") || !strings.Contains(out, "sample1") {
+		t.Error("header malformed")
+	}
+	got, err := ReadVCF(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d records", len(got))
+	}
+	// Written sorted: chr1:10, chr1:100, chr2:1.
+	if got[0].Pos != 9 || got[1].Pos != 99 || got[2].Chrom != "chr2" {
+		t.Errorf("sort order wrong: %+v", got)
+	}
+	if !got[1].Ref.Equal(records[0].Ref) || !got[1].Alt.Equal(records[0].Alt) {
+		t.Error("alleles corrupted")
+	}
+	if got[1].Genotype != Het || got[0].Genotype != HomAlt {
+		t.Error("genotypes corrupted")
+	}
+	if got[1].Qual != 42.5 {
+		t.Errorf("quality %v", got[1].Qual)
+	}
+}
+
+func TestVCFGenotypeString(t *testing.T) {
+	if HomRef.String() != "0/0" || Het.String() != "0/1" || HomAlt.String() != "1/1" {
+		t.Error("genotype strings wrong")
+	}
+}
+
+func TestReadVCFErrors(t *testing.T) {
+	cases := []string{
+		"chr1\t0\t.\tA\tT\t10\tPASS\t.\tGT\t0/1\n",  // pos < 1
+		"chr1\tx\t.\tA\tT\t10\tPASS\t.\tGT\t0/1\n",  // bad pos
+		"chr1\t5\t.\tA\tT\tbad\tPASS\t.\tGT\t0/1\n", // bad qual
+		"chr1\t5\t.\tA\tT\t10\tPASS\t.\tGT\t2/1\n",  // bad GT
+		"chr1\t5\t.\tN\tT\t10\tPASS\t.\tGT\t0/1\n",  // bad base
+		"chr1\t5\t.\tA\tT\t10\n",                    // short line
+	}
+	for _, c := range cases {
+		if _, err := ReadVCF(strings.NewReader(c)); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestReadVCFSkipsHeaders(t *testing.T) {
+	in := "##meta\n#CHROM\tstuff\n\nchr1\t5\t.\tA\tT\t10\tPASS\t.\tGT\t0/1\n"
+	got, err := ReadVCF(strings.NewReader(in))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
