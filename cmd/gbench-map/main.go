@@ -3,18 +3,26 @@
 // Smith-Waterman traceback (the bsw kernel) produces base-level
 // CIGARs, and the output is SAM. Input files may be gzipped.
 //
+// A reads file truncated mid-stream (e.g. an interrupted transfer of a
+// .fastq.gz) degrades gracefully: the complete records are mapped and
+// a warning notes how much was lost. A truncated reference is fatal —
+// mapping against half a genome would silently misplace reads.
+//
 // Usage:
 //
 //	gbench-map -ref ref.fa -reads reads.fastq -out out.sam
+//	gbench-map -ref ref.fa -reads reads.fastq -faults "truncate:fastq"
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/bsw"
 	"repro/internal/chain"
+	"repro/internal/faultinject"
 	"repro/internal/simio"
 )
 
@@ -26,11 +34,22 @@ func main() {
 		kFlag     = flag.Int("k", 15, "minimizer k-mer size")
 		wFlag     = flag.Int("w", 10, "minimizer window")
 		band      = flag.Int("band", 200, "alignment band width")
+		faults    = flag.String("faults", "", `fault plan for the input readers, e.g. "truncate:fastq:0.5"`)
+		faultSeed = flag.Int64("fault-seed", 1, "seed for deterministic fault firing")
 	)
 	flag.Parse()
 	if *refPath == "" || *readsPath == "" {
 		fmt.Fprintln(os.Stderr, "gbench-map: -ref and -reads are required")
 		os.Exit(2)
+	}
+	if *faults != "" {
+		plan, err := faultinject.Parse(*faults, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gbench-map:", err)
+			os.Exit(2)
+		}
+		faultinject.Arm(plan)
+		defer faultinject.Disarm()
 	}
 	if err := run(*refPath, *readsPath, *outPath, *kFlag, *wFlag, *band); err != nil {
 		fmt.Fprintln(os.Stderr, "gbench-map:", err)
@@ -44,8 +63,10 @@ func run(refPath, readsPath, outPath string, k, w, band int) error {
 		return err
 	}
 	defer rf.Close()
-	refs, err := simio.ReadFastaAuto(rf)
+	refs, err := simio.ReadFastaAuto(faultinject.WrapReader("fasta", rf))
 	if err != nil {
+		// A partial reference is never usable: fail rather than map
+		// reads onto a prefix of the genome.
 		return err
 	}
 	if len(refs) == 0 {
@@ -58,9 +79,14 @@ func run(refPath, readsPath, outPath string, k, w, band int) error {
 		return err
 	}
 	defer qf.Close()
-	reads, err := simio.ReadFastqAuto(qf)
+	reads, err := simio.ReadFastqAuto(faultinject.WrapReader("fastq", qf))
 	if err != nil {
-		return err
+		var se *simio.StreamError
+		if !errors.As(err, &se) || len(reads) == 0 {
+			return err
+		}
+		// Truncated reads file: map what decoded cleanly.
+		fmt.Fprintf(os.Stderr, "gbench-map: warning: %v; continuing with %d complete read(s)\n", err, len(reads))
 	}
 
 	mapper := chain.NewMapper(ref.Seq, k, w, 100)

@@ -2,28 +2,46 @@
 // small/large synthetic datasets and reports timing, operation mix and
 // per-task work statistics.
 //
+// The suite degrades gracefully: a kernel that panics, errors out, or
+// exceeds its per-attempt timeout is retried under the resilience
+// policy, then marked failed in the report while the remaining kernels
+// still run. The process exits 0 only when every kernel succeeded.
+//
 // Usage:
 //
 //	gbench -bench fmi -size small -threads 4 -seed 42
 //	gbench -bench all -size small
+//	gbench -bench fmi,chain,spoa -size small
+//	gbench -bench all -size small -faults "panic:spoa:1.0"
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"strings"
+	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/resilience"
 )
 
 func main() {
 	var (
-		benchName  = flag.String("bench", "all", "kernel name or 'all'")
+		benchName  = flag.String("bench", "all", "kernel name, comma list, or 'all'")
 		sizeName   = flag.String("size", "small", "dataset size: small or large")
 		threads    = flag.Int("threads", 1, "worker threads")
 		seed       = flag.Int64("seed", 42, "dataset seed")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		faults     = flag.String("faults", "", `fault plan, e.g. "panic:spoa:0.5,delay:chain:200ms" (see internal/faultinject)`)
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for deterministic fault firing")
+		timeout    = flag.Duration("timeout", 0, "per-attempt kernel timeout (0 = size default)")
+		attempts   = flag.Int("attempts", 0, "attempts per kernel (0 = policy default)")
 	)
 	flag.Parse()
 
@@ -46,29 +64,123 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	var benches []core.Benchmark
-	if *benchName == "all" {
-		benches = core.Benchmarks()
-	} else {
-		b, err := core.ByName(*benchName)
+	benches, err := selectBenches(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *faults != "" {
+		plan, err := faultinject.Parse(*faults, *faultSeed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		benches = []core.Benchmark{b}
+		faultinject.Arm(plan)
+		defer faultinject.Disarm()
+		fmt.Fprintf(os.Stderr, "gbench: fault plan armed: %s\n", *faults)
 	}
 
+	policy := core.PolicyFor(size)
+	if *timeout > 0 {
+		policy.Timeout = *timeout
+	}
+	if *attempts > 0 {
+		policy.Attempts = *attempts
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := core.SuiteConfig{
+		Size:    size,
+		Seed:    *seed,
+		Threads: *threads,
+		Policy:  policy,
+		Progress: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "gbench: "+format+"\n", args...)
+		},
+	}
+	outcomes := core.RunSuite(ctx, benches, cfg)
+
+	// The first six columns match the historical report exactly; the
+	// resilience columns are appended so success rows stay byte-stable
+	// within them.
 	t := &core.Table{
 		Title:   fmt.Sprintf("GenomicsBench (%s inputs, %d threads, seed %d)", size, *threads, *seed),
-		Columns: []string{"benchmark", "tool", "elapsed", "tasks", "ops", "mix"},
+		Columns: []string{"benchmark", "tool", "elapsed", "tasks", "ops", "mix", "status", "error"},
 	}
-	for _, b := range benches {
-		info := b.Info()
-		b.Prepare(size, *seed)
-		stats := b.Run(*threads)
-		t.AddRow(info.Name, info.Tool, stats.Elapsed.Round(1e5),
-			stats.TaskStats.Count(), stats.Counters.Total(), stats.Counters.String())
-		b.Release() // keep later kernels' GC cost independent of earlier datasets
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Failed() {
+			t.AddRow(o.Info.Name, o.Info.Tool, "-", "-", "-", "-", o.Status, firstLine(o.Err))
+			continue
+		}
+		stats := o.Stats
+		t.AddRow(o.Info.Name, o.Info.Tool, stats.Elapsed.Round(1e5),
+			stats.TaskStats.Count(), stats.Counters.Total(), stats.Counters.String(), o.Status, "-")
 	}
-	fmt.Print(t)
+	fmt.Print(t) // partial results flush even when kernels failed
+
+	failed := core.FailedOutcomes(outcomes)
+	if len(failed) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "\ngbench: %d of %d kernel(s) did not complete:\n", len(failed), len(outcomes))
+	for i := range failed {
+		o := &failed[i]
+		fmt.Fprintf(os.Stderr, "  %s: %s: %v\n", o.Info.Name, o.Status, o.Err)
+		var ke *resilience.KernelError
+		if errors.As(o.Err, &ke) && ke.Panicked {
+			fmt.Fprintf(os.Stderr, "%s\n", indent(ke.StackExcerpt(12), "    "))
+		}
+	}
+	os.Exit(1)
+}
+
+// selectBenches resolves -bench: "all", one name, or a comma list.
+func selectBenches(spec string) ([]core.Benchmark, error) {
+	if spec == "all" {
+		return core.Benchmarks(), nil
+	}
+	var benches []core.Benchmark
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, err := core.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		benches = append(benches, b)
+	}
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("no benchmarks selected by %q", spec)
+	}
+	return benches, nil
+}
+
+// firstLine compacts an error for a table cell.
+func firstLine(err error) string {
+	if err == nil {
+		return "-"
+	}
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	const max = 60
+	if len(s) > max {
+		s = s[:max-3] + "..."
+	}
+	return s
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
 }

@@ -10,8 +10,10 @@
 package abea
 
 import (
+	"context"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/genome"
 	"repro/internal/parallel"
 	"repro/internal/perf"
@@ -238,7 +240,18 @@ type KernelResult struct {
 }
 
 // RunKernel aligns all signal reads with dynamic scheduling.
+// It panics on failure; cancellable callers use RunKernelCtx.
 func RunKernel(model *signalsim.PoreModel, reads []signalsim.SignalRead, cfg Config, threads int) KernelResult {
+	res, err := RunKernelCtx(context.Background(), model, reads, cfg, threads)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunKernelCtx is RunKernel with cooperative cancellation and a fault
+// trip-point per read.
+func RunKernelCtx(ctx context.Context, model *signalsim.PoreModel, reads []signalsim.SignalRead, cfg Config, threads int) (KernelResult, error) {
 	if threads <= 0 {
 		threads = 1
 	}
@@ -251,14 +264,21 @@ func RunKernel(model *signalsim.PoreModel, reads []signalsim.SignalRead, cfg Con
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("cell updates")
 	}
-	parallel.ForEach(len(reads), threads, func(w, i int) {
+	err := parallel.ForEachCtxErr(ctx, len(reads), threads, func(tctx context.Context, w, i int) error {
+		if err := faultinject.Point(tctx); err != nil {
+			return err
+		}
 		r := Align(model, reads[i].Seq, reads[i].Events, cfg)
 		workers[w].cells += r.CellUpdates
 		if r.OutOfBand {
 			workers[w].oob++
 		}
 		workers[w].stats.Observe(float64(r.CellUpdates))
+		return nil
 	})
+	if err != nil {
+		return KernelResult{}, err
+	}
 	res := KernelResult{Reads: len(reads), TaskStats: perf.NewTaskStats("cell updates")}
 	for i := range workers {
 		res.CellUpdates += workers[i].cells
@@ -271,5 +291,5 @@ func RunKernel(model *signalsim.PoreModel, reads []signalsim.SignalRead, cfg Con
 	res.Counters.Add(perf.Store, res.CellUpdates)
 	res.Counters.Add(perf.IntALU, res.CellUpdates*2)
 	res.Counters.Add(perf.Branch, res.CellUpdates/2)
-	return res
+	return res, nil
 }

@@ -9,6 +9,9 @@
 package bsw
 
 import (
+	"context"
+
+	"repro/internal/faultinject"
 	"repro/internal/genome"
 	"repro/internal/parallel"
 	"repro/internal/perf"
@@ -289,7 +292,18 @@ type KernelResult struct {
 }
 
 // RunKernel aligns all pairs with dynamic scheduling across threads.
+// It panics on failure; cancellable callers use RunKernelCtx.
 func RunKernel(pairs []Pair, p Params, threads int) KernelResult {
+	res, err := RunKernelCtx(context.Background(), pairs, p, threads)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunKernelCtx is RunKernel with cooperative cancellation and a fault
+// trip-point per pair.
+func RunKernelCtx(ctx context.Context, pairs []Pair, p Params, threads int) (KernelResult, error) {
 	if threads <= 0 {
 		threads = 1
 	}
@@ -302,12 +316,19 @@ func RunKernel(pairs []Pair, p Params, threads int) KernelResult {
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("cell updates")
 	}
-	parallel.ForEach(len(pairs), threads, func(w, i int) {
+	err := parallel.ForEachCtxErr(ctx, len(pairs), threads, func(tctx context.Context, w, i int) error {
+		if err := faultinject.Point(tctx); err != nil {
+			return err
+		}
 		r := Align(pairs[i].Query, pairs[i].Target, p)
 		workers[w].score += int64(r.Score)
 		workers[w].cells += r.CellUpdates
 		workers[w].stats.Observe(float64(r.CellUpdates))
+		return nil
 	})
+	if err != nil {
+		return KernelResult{}, err
+	}
 	res := KernelResult{Pairs: len(pairs), TaskStats: perf.NewTaskStats("cell updates")}
 	for i := range workers {
 		res.TotalScore += workers[i].score
@@ -322,5 +343,5 @@ func RunKernel(pairs []Pair, p Params, threads int) KernelResult {
 	res.Counters.Add(perf.Load, res.CellUpdates*2)
 	res.Counters.Add(perf.Store, res.CellUpdates)
 	res.Counters.Add(perf.Branch, res.CellUpdates/4)
-	return res
+	return res, nil
 }

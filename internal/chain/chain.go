@@ -1,8 +1,10 @@
 package chain
 
 import (
+	"context"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/parallel"
 	"repro/internal/perf"
 )
@@ -192,7 +194,18 @@ type KernelResult struct {
 }
 
 // RunKernel chains every task with dynamic scheduling.
+// It panics on failure; cancellable callers use RunKernelCtx.
 func RunKernel(tasks []Task, cfg Config, threads int) KernelResult {
+	res, err := RunKernelCtx(context.Background(), tasks, cfg, threads)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunKernelCtx is RunKernel with cooperative cancellation and a fault
+// trip-point per task.
+func RunKernelCtx(ctx context.Context, tasks []Task, cfg Config, threads int) (KernelResult, error) {
 	if threads <= 0 {
 		threads = 1
 	}
@@ -205,12 +218,19 @@ func RunKernel(tasks []Task, cfg Config, threads int) KernelResult {
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("input anchors")
 	}
-	parallel.ForEach(len(tasks), threads, func(w, i int) {
+	err := parallel.ForEachCtxErr(ctx, len(tasks), threads, func(tctx context.Context, w, i int) error {
+		if err := faultinject.Point(tctx); err != nil {
+			return err
+		}
 		chains, comps := ChainAnchors(tasks[i].Anchors, cfg)
 		workers[w].chains += len(chains)
 		workers[w].comps += comps
 		workers[w].stats.Observe(float64(len(tasks[i].Anchors)))
+		return nil
 	})
+	if err != nil {
+		return KernelResult{}, err
+	}
 	res := KernelResult{Tasks: len(tasks), TaskStats: perf.NewTaskStats("input anchors")}
 	for i := range workers {
 		res.Chains += workers[i].chains
@@ -224,5 +244,5 @@ func RunKernel(tasks []Task, cfg Config, threads int) KernelResult {
 	res.Counters.Add(perf.FloatOp, res.Comparisons*4)
 	res.Counters.Add(perf.Load, res.Comparisons*3)
 	res.Counters.Add(perf.Branch, res.Comparisons*4)
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -64,9 +65,12 @@ func (b *fmiBench) Prepare(size Size, seed int64) {
 	}
 }
 
-func (b *fmiBench) Run(threads int) RunStats {
+func (b *fmiBench) RunCtx(ctx context.Context, threads int) (RunStats, error) {
 	start := time.Now()
-	res := fmindex.RunKernel(b.index, b.reads, fmindex.KernelConfig{MinSeedLen: 19, MinHits: 1, Threads: threads})
+	res, err := fmindex.RunKernelCtx(ctx, b.index, b.reads, fmindex.KernelConfig{MinSeedLen: 19, MinHits: 1, Threads: threads})
+	if err != nil {
+		return RunStats{}, err
+	}
 	return RunStats{
 		Elapsed:   time.Since(start),
 		Counters:  res.Counters,
@@ -75,7 +79,7 @@ func (b *fmiBench) Run(threads int) RunStats {
 			"smems":       float64(res.SMEMs),
 			"occ_lookups": float64(res.OccLookups),
 		},
-	}
+	}, nil
 }
 
 // ---- bsw ----
@@ -121,9 +125,12 @@ func (b *bswBench) Prepare(size Size, seed int64) {
 	}
 }
 
-func (b *bswBench) Run(threads int) RunStats {
+func (b *bswBench) RunCtx(ctx context.Context, threads int) (RunStats, error) {
 	start := time.Now()
-	res := bsw.RunKernel(b.pairs, bsw.DefaultParams(), threads)
+	res, err := bsw.RunKernelCtx(ctx, b.pairs, bsw.DefaultParams(), threads)
+	if err != nil {
+		return RunStats{}, err
+	}
 	return RunStats{
 		Elapsed:   time.Since(start),
 		Counters:  res.Counters,
@@ -132,7 +139,7 @@ func (b *bswBench) Run(threads int) RunStats {
 			"cells": float64(res.CellUpdates),
 			"score": float64(res.TotalScore),
 		},
-	}
+	}, nil
 }
 
 // ---- dbg ----
@@ -170,9 +177,12 @@ func (b *dbgBench) Prepare(size Size, seed int64) {
 	}
 }
 
-func (b *dbgBench) Run(threads int) RunStats {
+func (b *dbgBench) RunCtx(ctx context.Context, threads int) (RunStats, error) {
 	start := time.Now()
-	res := dbg.RunKernel(b.regions, dbg.DefaultConfig(), threads)
+	res, err := dbg.RunKernelCtx(ctx, b.regions, dbg.DefaultConfig(), threads)
+	if err != nil {
+		return RunStats{}, err
+	}
 	return RunStats{
 		Elapsed:   time.Since(start),
 		Counters:  res.Counters,
@@ -182,7 +192,7 @@ func (b *dbgBench) Run(threads int) RunStats {
 			"hash_lookups":  float64(res.HashLookups),
 			"cycle_retries": float64(res.CycleRetries),
 		},
-	}
+	}, nil
 }
 
 // ---- phmm ----
@@ -248,9 +258,12 @@ func (b *phmmBench) Prepare(size Size, seed int64) {
 	}
 }
 
-func (b *phmmBench) Run(threads int) RunStats {
+func (b *phmmBench) RunCtx(ctx context.Context, threads int) (RunStats, error) {
 	start := time.Now()
-	res := phmm.RunKernel(b.regions, threads)
+	res, err := phmm.RunKernelCtx(ctx, b.regions, threads)
+	if err != nil {
+		return RunStats{}, err
+	}
 	return RunStats{
 		Elapsed:   time.Since(start),
 		Counters:  res.Counters,
@@ -260,7 +273,7 @@ func (b *phmmBench) Run(threads int) RunStats {
 			"cells":     float64(res.CellUpdates),
 			"fallbacks": float64(res.Fallbacks),
 		},
-	}
+	}, nil
 }
 
 // ---- chain ----
@@ -303,9 +316,12 @@ func (b *chainBench) Prepare(size Size, seed int64) {
 	}
 }
 
-func (b *chainBench) Run(threads int) RunStats {
+func (b *chainBench) RunCtx(ctx context.Context, threads int) (RunStats, error) {
 	start := time.Now()
-	res := chain.RunKernel(b.tasks, chain.DefaultConfig(), threads)
+	res, err := chain.RunKernelCtx(ctx, b.tasks, chain.DefaultConfig(), threads)
+	if err != nil {
+		return RunStats{}, err
+	}
 	return RunStats{
 		Elapsed:   time.Since(start),
 		Counters:  res.Counters,
@@ -314,7 +330,7 @@ func (b *chainBench) Run(threads int) RunStats {
 			"chains":      float64(res.Chains),
 			"comparisons": float64(res.Comparisons),
 		},
-	}
+	}, nil
 }
 
 // ---- spoa ----
@@ -360,15 +376,18 @@ func (b *poaBench) Prepare(size Size, seed int64) {
 	}
 }
 
-func (b *poaBench) Run(threads int) RunStats {
+func (b *poaBench) RunCtx(ctx context.Context, threads int) (RunStats, error) {
 	start := time.Now()
-	res := poa.RunKernel(b.windows, poa.DefaultParams(), threads)
+	res, err := poa.RunKernelCtx(ctx, b.windows, poa.DefaultParams(), threads)
+	if err != nil {
+		return RunStats{}, err
+	}
 	return RunStats{
 		Elapsed:   time.Since(start),
 		Counters:  res.Counters,
 		TaskStats: res.TaskStats,
 		Extra:     map[string]float64{"cells": float64(res.CellUpdates)},
-	}
+	}, nil
 }
 
 // ---- abea ----
@@ -403,9 +422,12 @@ func (b *abeaBench) Prepare(size Size, seed int64) {
 	}
 }
 
-func (b *abeaBench) Run(threads int) RunStats {
+func (b *abeaBench) RunCtx(ctx context.Context, threads int) (RunStats, error) {
 	start := time.Now()
-	res := abea.RunKernel(b.model, b.reads, abea.DefaultConfig(), threads)
+	res, err := abea.RunKernelCtx(ctx, b.model, b.reads, abea.DefaultConfig(), threads)
+	if err != nil {
+		return RunStats{}, err
+	}
 	return RunStats{
 		Elapsed:   time.Since(start),
 		Counters:  res.Counters,
@@ -414,7 +436,7 @@ func (b *abeaBench) Run(threads int) RunStats {
 			"cells":       float64(res.CellUpdates),
 			"out_of_band": float64(res.OutOfBand),
 		},
-	}
+	}, nil
 }
 
 // ---- kmer-cnt ----
@@ -445,9 +467,12 @@ func (b *kmercntBench) Prepare(size Size, seed int64) {
 	}
 }
 
-func (b *kmercntBench) Run(threads int) RunStats {
+func (b *kmercntBench) RunCtx(ctx context.Context, threads int) (RunStats, error) {
 	start := time.Now()
-	res := kmercnt.RunKernel(b.reads, 17, threads, kmercnt.Linear)
+	res, err := kmercnt.RunKernelCtx(ctx, b.reads, 17, threads, kmercnt.Linear)
+	if err != nil {
+		return RunStats{}, err
+	}
 	return RunStats{
 		Elapsed:   time.Since(start),
 		Counters:  res.Counters,
@@ -457,7 +482,7 @@ func (b *kmercntBench) Run(threads int) RunStats {
 			"distinct": float64(res.Distinct),
 			"probes":   float64(res.Probes),
 		},
-	}
+	}, nil
 }
 
 // ---- grm ----
@@ -482,9 +507,12 @@ func (b *grmBench) Prepare(size Size, seed int64) {
 	b.genotypes = grm.Simulate(rng, n, s, 0.1)
 }
 
-func (b *grmBench) Run(threads int) RunStats {
+func (b *grmBench) RunCtx(ctx context.Context, threads int) (RunStats, error) {
 	start := time.Now()
-	res := grm.RunKernel(b.genotypes, 64, threads)
+	res, err := grm.RunKernelCtx(ctx, b.genotypes, 64, threads)
+	if err != nil {
+		return RunStats{}, err
+	}
 	ts := perf.NewTaskStats("multiply-accumulates")
 	ts.Observe(float64(res.FLOPs))
 	return RunStats{
@@ -492,7 +520,7 @@ func (b *grmBench) Run(threads int) RunStats {
 		Counters:  res.Counters,
 		TaskStats: ts,
 		Extra:     map[string]float64{"flops": float64(res.FLOPs)},
-	}
+	}, nil
 }
 
 // ---- nn-base ----
@@ -529,9 +557,12 @@ func (b *nnbaseBench) Prepare(size Size, seed int64) {
 	}
 }
 
-func (b *nnbaseBench) Run(threads int) RunStats {
+func (b *nnbaseBench) RunCtx(ctx context.Context, threads int) (RunStats, error) {
 	start := time.Now()
-	res := nnbase.RunKernel(b.model, b.reads, b.cfg, threads)
+	res, err := nnbase.RunKernelCtx(ctx, b.model, b.reads, b.cfg, threads)
+	if err != nil {
+		return RunStats{}, err
+	}
 	return RunStats{
 		Elapsed:   time.Since(start),
 		Counters:  res.Counters,
@@ -540,7 +571,7 @@ func (b *nnbaseBench) Run(threads int) RunStats {
 			"macs":  float64(res.MACs),
 			"bases": float64(res.BasesOut),
 		},
-	}
+	}, nil
 }
 
 // ---- pileup ----
@@ -575,9 +606,12 @@ func (b *pileupBench) Prepare(size Size, seed int64) {
 	b.regions = pileup.SplitRegions(refLen, alns, pileup.RegionSize)
 }
 
-func (b *pileupBench) Run(threads int) RunStats {
+func (b *pileupBench) RunCtx(ctx context.Context, threads int) (RunStats, error) {
 	start := time.Now()
-	res := pileup.RunKernel(b.regions, threads)
+	res, err := pileup.RunKernelCtx(ctx, b.regions, threads)
+	if err != nil {
+		return RunStats{}, err
+	}
 	return RunStats{
 		Elapsed:   time.Since(start),
 		Counters:  res.Counters,
@@ -586,7 +620,7 @@ func (b *pileupBench) Run(threads int) RunStats {
 			"read_lookups": float64(res.ReadLookups),
 			"depth":        float64(res.TotalDepth),
 		},
-	}
+	}, nil
 }
 
 // ---- nn-variant ----
@@ -627,9 +661,12 @@ func (b *nnvariantBench) Prepare(size Size, seed int64) {
 	}
 }
 
-func (b *nnvariantBench) Run(threads int) RunStats {
+func (b *nnvariantBench) RunCtx(ctx context.Context, threads int) (RunStats, error) {
 	start := time.Now()
-	res := nnvariant.RunKernel(b.model, b.tasks, threads)
+	res, err := nnvariant.RunKernelCtx(ctx, b.model, b.tasks, threads)
+	if err != nil {
+		return RunStats{}, err
+	}
 	return RunStats{
 		Elapsed:   time.Since(start),
 		Counters:  res.Counters,
@@ -638,7 +675,7 @@ func (b *nnvariantBench) Run(threads int) RunStats {
 			"calls": float64(res.Calls),
 			"macs":  float64(res.MACs),
 		},
-	}
+	}, nil
 }
 
 func init() {
@@ -655,6 +692,31 @@ func init() {
 	Register(&nnvariantBench{})
 	Register(&kmercntBench{})
 }
+
+// Run implementations preserve the legacy non-cancellable API: they
+// execute RunCtx under a background context and panic on failure,
+// which cannot happen unless a fault plan is armed.
+
+func mustRun(b Benchmark, threads int) RunStats {
+	stats, err := b.RunCtx(context.Background(), threads)
+	if err != nil {
+		panic(err)
+	}
+	return stats
+}
+
+func (b *fmiBench) Run(threads int) RunStats       { return mustRun(b, threads) }
+func (b *bswBench) Run(threads int) RunStats       { return mustRun(b, threads) }
+func (b *dbgBench) Run(threads int) RunStats       { return mustRun(b, threads) }
+func (b *phmmBench) Run(threads int) RunStats      { return mustRun(b, threads) }
+func (b *chainBench) Run(threads int) RunStats     { return mustRun(b, threads) }
+func (b *poaBench) Run(threads int) RunStats       { return mustRun(b, threads) }
+func (b *abeaBench) Run(threads int) RunStats      { return mustRun(b, threads) }
+func (b *kmercntBench) Run(threads int) RunStats   { return mustRun(b, threads) }
+func (b *grmBench) Run(threads int) RunStats       { return mustRun(b, threads) }
+func (b *nnbaseBench) Run(threads int) RunStats    { return mustRun(b, threads) }
+func (b *pileupBench) Run(threads int) RunStats    { return mustRun(b, threads) }
+func (b *nnvariantBench) Run(threads int) RunStats { return mustRun(b, threads) }
 
 // Release implementations drop each benchmark's prepared dataset.
 

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -67,14 +68,17 @@ type RunStats struct {
 }
 
 // Benchmark is one suite kernel: Prepare builds its dataset (seeded,
-// deterministic), Run executes it with the given thread count, and
-// Release drops the dataset so a driver iterating many kernels does
-// not accumulate every dataset on the heap (which inflates GC cost on
-// later kernels).
+// deterministic), RunCtx executes it with the given thread count under
+// cooperative cancellation, and Release drops the dataset so a driver
+// iterating many kernels does not accumulate every dataset on the heap
+// (which inflates GC cost on later kernels). Run is the legacy
+// non-cancellable path; it panics if the kernel fails (which only
+// happens under fault injection or cancellation).
 type Benchmark interface {
 	Info() Info
 	Prepare(size Size, seed int64)
 	Run(threads int) RunStats
+	RunCtx(ctx context.Context, threads int) (RunStats, error)
 	Release()
 }
 

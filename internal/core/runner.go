@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/resilience"
+)
+
+// Status classifies a kernel's suite outcome.
+type Status int
+
+// Kernel outcome states.
+const (
+	StatusOK       Status = iota
+	StatusFailed          // panicked or returned an error on every attempt
+	StatusTimedOut        // last attempt exceeded the per-attempt deadline
+	StatusSkipped         // suite was cancelled before the kernel ran
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusFailed:
+		return "failed"
+	case StatusTimedOut:
+		return "timeout"
+	case StatusSkipped:
+		return "skipped"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// KernelOutcome is one kernel's result in a resilient suite run:
+// either Stats (StatusOK) or Err explaining the failure.
+type KernelOutcome struct {
+	Info     Info
+	Status   Status
+	Stats    RunStats
+	Err      error // *resilience.KernelError unless skipped
+	Attempts int
+}
+
+// Failed reports whether the kernel did not complete successfully.
+func (o *KernelOutcome) Failed() bool { return o.Status != StatusOK }
+
+// SuiteConfig parameterizes RunSuite.
+type SuiteConfig struct {
+	Size    Size
+	Seed    int64
+	Threads int
+	Policy  resilience.Policy
+	// Progress, when non-nil, receives one line per kernel transition
+	// (started, retried, failed); the driver points it at stderr so
+	// the stdout report table stays clean.
+	Progress func(format string, args ...any)
+}
+
+// PolicyFor returns the per-attempt retry/timeout policy matched to a
+// dataset size: small inputs finish in seconds, so a stuck kernel is
+// cut off quickly; large inputs get proportionally more headroom.
+func PolicyFor(size Size) resilience.Policy {
+	p := resilience.Default()
+	if size == Large {
+		p.Timeout = 20 * time.Minute
+	} else {
+		p.Timeout = 4 * time.Minute
+	}
+	return p
+}
+
+// RunSuite executes the kernels in order under the resilience policy,
+// degrading gracefully: a kernel that panics, errors, or times out is
+// recorded as a failed outcome (with the typed error, including the
+// panic stack) and the remaining kernels still run. Cancelling ctx
+// stops the suite; kernels not yet started are marked skipped. The
+// fault-injection label tracks the running kernel so an armed plan
+// targets sites by kernel name.
+func RunSuite(ctx context.Context, benches []Benchmark, cfg SuiteConfig) []KernelOutcome {
+	progress := cfg.Progress
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	outcomes := make([]KernelOutcome, 0, len(benches))
+	for _, b := range benches {
+		info := b.Info()
+		out := KernelOutcome{Info: info, Status: StatusOK}
+		if ctx.Err() != nil {
+			out.Status = StatusSkipped
+			out.Err = ctx.Err()
+			outcomes = append(outcomes, out)
+			continue
+		}
+		progress("%s: running", info.Name)
+		faultinject.SetLabel(info.Name)
+		// Prepare runs inside the resilience envelope so a panic while
+		// building the dataset is isolated like a kernel panic; the
+		// prepared flag keeps retries from rebuilding it needlessly.
+		prepared := false
+		var stats RunStats
+		attempt := 0
+		err := resilience.Run(ctx, info.Name, cfg.Policy, func(actx context.Context) error {
+			attempt++
+			if attempt > 1 {
+				progress("%s: retrying (attempt %d)", info.Name, attempt)
+			}
+			if !prepared {
+				b.Prepare(cfg.Size, cfg.Seed)
+				prepared = true
+			}
+			s, err := b.RunCtx(actx, cfg.Threads)
+			if err == nil {
+				stats = s
+			}
+			return err
+		})
+		faultinject.ClearLabel()
+		b.Release()
+		if err != nil {
+			var ke *resilience.KernelError
+			if errors.As(err, &ke) {
+				out.Attempts = ke.Attempts
+				if ke.TimedOut {
+					out.Status = StatusTimedOut
+				} else {
+					out.Status = StatusFailed
+				}
+			} else {
+				out.Status = StatusFailed
+			}
+			out.Err = err
+			progress("%s: %s after %d attempt(s): %v", info.Name, out.Status, out.Attempts, err)
+		} else {
+			out.Stats = stats
+			out.Attempts = attempt
+			progress("%s: ok in %s", info.Name, stats.Elapsed.Round(time.Millisecond))
+		}
+		outcomes = append(outcomes, out)
+	}
+	return outcomes
+}
+
+// FailedOutcomes filters the failures (anything not StatusOK) from a
+// suite run, for exit-code decisions and failure summaries.
+func FailedOutcomes(outcomes []KernelOutcome) []KernelOutcome {
+	var failed []KernelOutcome
+	for _, o := range outcomes {
+		if o.Failed() {
+			failed = append(failed, o)
+		}
+	}
+	return failed
+}

@@ -7,6 +7,9 @@
 package dbg
 
 import (
+	"context"
+
+	"repro/internal/faultinject"
 	"repro/internal/genome"
 	"repro/internal/parallel"
 	"repro/internal/perf"
@@ -248,7 +251,18 @@ type KernelResult struct {
 }
 
 // RunKernel assembles all regions with dynamic scheduling.
+// It panics on failure; cancellable callers use RunKernelCtx.
 func RunKernel(regions []*Region, cfg Config, threads int) KernelResult {
+	res, err := RunKernelCtx(context.Background(), regions, cfg, threads)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunKernelCtx is RunKernel with cooperative cancellation and a fault
+// trip-point per region.
+func RunKernelCtx(ctx context.Context, regions []*Region, cfg Config, threads int) (KernelResult, error) {
 	if threads <= 0 {
 		threads = 1
 	}
@@ -262,13 +276,20 @@ func RunKernel(regions []*Region, cfg Config, threads int) KernelResult {
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("hash lookups")
 	}
-	parallel.ForEach(len(regions), threads, func(w, i int) {
+	err := parallel.ForEachCtxErr(ctx, len(regions), threads, func(tctx context.Context, w, i int) error {
+		if err := faultinject.Point(tctx); err != nil {
+			return err
+		}
 		r := AssembleRegion(regions[i], cfg)
 		workers[w].haps += len(r.Haplotypes)
 		workers[w].lookups += r.HashLookups
 		workers[w].retries += r.CycleRetries
 		workers[w].stats.Observe(float64(r.HashLookups))
+		return nil
 	})
+	if err != nil {
+		return KernelResult{}, err
+	}
 	res := KernelResult{Regions: len(regions), TaskStats: perf.NewTaskStats("hash lookups")}
 	for i := range workers {
 		res.Haplotypes += workers[i].haps
@@ -283,5 +304,5 @@ func RunKernel(regions []*Region, cfg Config, threads int) KernelResult {
 	res.Counters.Add(perf.IntALU, res.HashLookups*9)
 	res.Counters.Add(perf.Store, res.HashLookups)
 	res.Counters.Add(perf.Branch, res.HashLookups*3)
-	return res
+	return res, nil
 }

@@ -1,0 +1,303 @@
+// Package faultinject implements seeded, deterministic fault injection
+// for the suite driver: a Plan parsed from a compact spec string can
+// arm panic/delay/error trip-points inside kernel task loops and wrap
+// the simio readers with truncating, corrupting or slow io.Readers.
+// It exists to prove — in tests and via `gbench -faults` — that the
+// runner degrades gracefully when a kernel misbehaves.
+//
+// The plan grammar is a comma-separated list of fault clauses:
+//
+//	kind:site[:param]
+//
+//	panic:poa:0.5        panic at matching trip-points with probability 0.5
+//	delay:chain:200ms    sleep 200ms (context-aware) at matching trip-points
+//	error:fmi:1.0        return an InjectedError from matching trip-points
+//	truncate:fasta:4096  cut the reader off after 4096 bytes
+//	corrupt:fastq:0.01   flip one bit per byte with probability 0.01
+//	slow:fastq:1ms       sleep 1ms per Read call
+//
+// A site matches a trip-point if it equals or is contained in the
+// current label (so `panic:poa` hits the kernel registered as "spoa"),
+// and "*" matches everything. All randomness derives from the plan
+// seed, so a given plan injects the same faults run after run.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the fault kinds.
+type Kind uint8
+
+// Fault kinds. The first three arm trip-points (Point); the last three
+// wrap readers (WrapReader).
+const (
+	KindPanic Kind = iota
+	KindDelay
+	KindError
+	KindTruncate
+	KindCorrupt
+	KindSlow
+)
+
+var kindNames = map[string]Kind{
+	"panic": KindPanic, "delay": KindDelay, "error": KindError,
+	"truncate": KindTruncate, "corrupt": KindCorrupt, "slow": KindSlow,
+}
+
+func (k Kind) String() string {
+	for name, kk := range kindNames {
+		if kk == k {
+			return name
+		}
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Fault is one armed fault clause.
+type Fault struct {
+	Kind  Kind
+	Site  string
+	Prob  float64       // panic/error: per-evaluation; corrupt: per-byte
+	Delay time.Duration // delay/slow
+	Bytes int64         // truncate: bytes passed through before EOF
+}
+
+// Plan is a parsed, seeded fault plan. A Plan is safe for concurrent
+// use by trip-points on multiple workers.
+type Plan struct {
+	Seed   int64
+	Faults []Fault
+	// Per-fault evaluation counters: the nth evaluation of fault i
+	// fires iff hash(seed, i, n) < prob, which makes the fired set a
+	// pure function of the plan regardless of worker scheduling.
+	evals []atomic.Uint64
+}
+
+// Parse builds a Plan from a spec string. An empty spec yields a nil
+// plan (nothing armed).
+func Parse(spec string, seed int64) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{Seed: seed}
+	for _, clause := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(clause), ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("faultinject: bad clause %q (want kind:site[:param])", clause)
+		}
+		kind, ok := kindNames[parts[0]]
+		if !ok {
+			return nil, fmt.Errorf("faultinject: unknown fault kind %q in %q", parts[0], clause)
+		}
+		site := parts[1]
+		if site == "" {
+			return nil, fmt.Errorf("faultinject: empty site in %q", clause)
+		}
+		f := Fault{Kind: kind, Site: site}
+		param := ""
+		if len(parts) == 3 {
+			param = parts[2]
+		}
+		var err error
+		switch kind {
+		case KindPanic, KindError:
+			f.Prob = 1.0
+			if param != "" {
+				f.Prob, err = strconv.ParseFloat(param, 64)
+			}
+		case KindCorrupt:
+			f.Prob = 0.001
+			if param != "" {
+				f.Prob, err = strconv.ParseFloat(param, 64)
+			}
+		case KindDelay, KindSlow:
+			f.Delay = 100 * time.Millisecond
+			if param != "" {
+				f.Delay, err = time.ParseDuration(param)
+			}
+		case KindTruncate:
+			f.Bytes = 1024
+			if param != "" {
+				f.Bytes, err = strconv.ParseInt(param, 10, 64)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad parameter %q in %q: %v", param, clause, err)
+		}
+		if f.Prob < 0 || f.Prob > 1 {
+			return nil, fmt.Errorf("faultinject: probability %v out of [0,1] in %q", f.Prob, clause)
+		}
+		if f.Delay < 0 || f.Bytes < 0 {
+			return nil, fmt.Errorf("faultinject: negative parameter in %q", clause)
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	p.evals = make([]atomic.Uint64, len(p.Faults))
+	return p, nil
+}
+
+// String renders the plan back into spec form.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var clauses []string
+	for _, f := range p.Faults {
+		switch f.Kind {
+		case KindPanic, KindError, KindCorrupt:
+			clauses = append(clauses, fmt.Sprintf("%s:%s:%g", f.Kind, f.Site, f.Prob))
+		case KindDelay, KindSlow:
+			clauses = append(clauses, fmt.Sprintf("%s:%s:%s", f.Kind, f.Site, f.Delay))
+		case KindTruncate:
+			clauses = append(clauses, fmt.Sprintf("%s:%s:%d", f.Kind, f.Site, f.Bytes))
+		}
+	}
+	return strings.Join(clauses, ",")
+}
+
+func (f *Fault) matches(label string) bool {
+	if f.Site == "*" {
+		return true
+	}
+	return label != "" && (f.Site == label || strings.Contains(label, f.Site))
+}
+
+// splitmix64 is the standard 64-bit finalizer-style mixer; good enough
+// to turn (seed, fault, evaluation) into an i.i.d.-looking uniform draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fire decides deterministically whether evaluation n of fault i fires.
+func (p *Plan) fire(i int, prob float64) bool {
+	if prob >= 1 {
+		p.evals[i].Add(1)
+		return true
+	}
+	if prob <= 0 {
+		p.evals[i].Add(1)
+		return false
+	}
+	n := p.evals[i].Add(1) - 1
+	u := splitmix64(uint64(p.Seed)*0x9e3779b97f4a7c15 ^ uint64(i)<<32 ^ n)
+	return float64(u>>11)/(1<<53) < prob
+}
+
+// ---- global arming ----
+
+var (
+	armed        atomic.Pointer[Plan]
+	currentLabel atomic.Pointer[string]
+)
+
+// Arm installs p as the process-wide active plan (nil disarms). The
+// suite driver runs kernels serially, so a single armed plan plus a
+// label is enough to target faults at one kernel at a time.
+func Arm(p *Plan) {
+	if p != nil && len(p.Faults) == 0 {
+		p = nil
+	}
+	armed.Store(p)
+}
+
+// Disarm removes the active plan.
+func Disarm() { armed.Store(nil) }
+
+// Armed reports the active plan (nil when disarmed).
+func Armed() *Plan { return armed.Load() }
+
+// SetLabel records the site label trip-points evaluate against —
+// the suite runner sets it to the kernel name it is about to execute.
+func SetLabel(label string) { currentLabel.Store(&label) }
+
+// ClearLabel removes the current label.
+func ClearLabel() { currentLabel.Store(nil) }
+
+func label() string {
+	if l := currentLabel.Load(); l != nil {
+		return *l
+	}
+	return ""
+}
+
+// InjectedPanic is the value thrown by panic faults, so tests and
+// error reports can tell an injected panic from a genuine bug.
+type InjectedPanic struct {
+	Site  string // the fault clause's site
+	Label string // the label that matched
+}
+
+func (p *InjectedPanic) String() string {
+	return fmt.Sprintf("faultinject: injected panic (site %q, kernel %q)", p.Site, p.Label)
+}
+
+// InjectedError is returned from trip-points by error faults.
+type InjectedError struct {
+	Site  string
+	Label string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected error (site %q, kernel %q)", e.Site, e.Label)
+}
+
+// Point is the trip-point kernels place inside their task loops. When
+// no plan is armed it is a single atomic load. With a plan armed it
+// evaluates every matching fault: delay faults sleep (context-aware,
+// returning ctx.Err() when cancelled mid-sleep), panic faults panic
+// with an *InjectedPanic, and error faults return an *InjectedError.
+func Point(ctx context.Context) error {
+	p := armed.Load()
+	if p == nil {
+		return nil
+	}
+	return p.point(ctx, label())
+}
+
+func (p *Plan) point(ctx context.Context, lbl string) error {
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if !f.matches(lbl) {
+			continue
+		}
+		switch f.Kind {
+		case KindDelay:
+			if err := sleepCtx(ctx, f.Delay); err != nil {
+				return err
+			}
+		case KindPanic:
+			if p.fire(i, f.Prob) {
+				panic(&InjectedPanic{Site: f.Site, Label: lbl})
+			}
+		case KindError:
+			if p.fire(i, f.Prob) {
+				return &InjectedError{Site: f.Site, Label: lbl}
+			}
+		}
+	}
+	return nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,230 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseGrammar(t *testing.T) {
+	p, err := Parse("panic:poa:0.5,truncate:fasta,delay:chain:200ms", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Faults) != 3 {
+		t.Fatalf("got %d faults", len(p.Faults))
+	}
+	if f := p.Faults[0]; f.Kind != KindPanic || f.Site != "poa" || f.Prob != 0.5 {
+		t.Errorf("clause 0 = %+v", f)
+	}
+	if f := p.Faults[1]; f.Kind != KindTruncate || f.Site != "fasta" || f.Bytes != 1024 {
+		t.Errorf("clause 1 = %+v (default bytes)", f)
+	}
+	if f := p.Faults[2]; f.Kind != KindDelay || f.Site != "chain" || f.Delay != 200*time.Millisecond {
+		t.Errorf("clause 2 = %+v", f)
+	}
+	if s := p.String(); !strings.Contains(s, "panic:poa:0.5") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestParseDefaultsAndErrors(t *testing.T) {
+	p, err := Parse("panic:fmi,error:dbg,slow:fastq,corrupt:fastq", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Faults[0].Prob != 1 || p.Faults[1].Prob != 1 {
+		t.Error("panic/error default probability should be 1")
+	}
+	if p.Faults[2].Delay != 100*time.Millisecond {
+		t.Error("slow default delay should be 100ms")
+	}
+	if p.Faults[3].Prob != 0.001 {
+		t.Error("corrupt default probability should be 0.001")
+	}
+	for _, bad := range []string{
+		"panic", "panic:", ":x", "nuke:poa", "panic:poa:2.0", "panic:poa:-1",
+		"delay:x:notadur", "truncate:x:-5", "panic:poa:0.5:extra",
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+	if p, err := Parse("", 1); err != nil || p != nil {
+		t.Errorf("empty spec: plan=%v err=%v", p, err)
+	}
+}
+
+func TestSiteMatching(t *testing.T) {
+	f := Fault{Site: "poa"}
+	if !f.matches("spoa") || !f.matches("poa") {
+		t.Error("site poa should match labels poa and spoa")
+	}
+	if f.matches("chain") || f.matches("") {
+		t.Error("site poa must not match chain or empty label")
+	}
+	star := Fault{Site: "*"}
+	if !star.matches("anything") || !star.matches("") {
+		t.Error("* should match everything")
+	}
+}
+
+func TestPointPanicDeterministic(t *testing.T) {
+	p, _ := Parse("panic:kern:1.0", 7)
+	Arm(p)
+	defer Disarm()
+	SetLabel("kern")
+	defer ClearLabel()
+	defer func() {
+		ip, ok := recover().(*InjectedPanic)
+		if !ok {
+			t.Fatal("expected *InjectedPanic")
+		}
+		if ip.Site != "kern" || ip.Label != "kern" {
+			t.Errorf("panic = %+v", ip)
+		}
+	}()
+	Point(context.Background())
+	t.Fatal("Point did not panic at probability 1")
+}
+
+func TestPointRespectsLabelAndProbabilityZero(t *testing.T) {
+	p, _ := Parse("panic:kern:1.0,panic:other:0.0", 7)
+	Arm(p)
+	defer Disarm()
+	// Wrong label: nothing fires.
+	SetLabel("unrelated")
+	if err := Point(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Probability 0 never fires even with a matching label.
+	SetLabel("other")
+	for i := 0; i < 100; i++ {
+		if err := Point(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ClearLabel()
+}
+
+func TestPointProbabilityIsSeededAndStable(t *testing.T) {
+	count := func(seed int64) int {
+		p, _ := Parse("error:kern:0.3", seed)
+		Arm(p)
+		defer Disarm()
+		SetLabel("kern")
+		defer ClearLabel()
+		fired := 0
+		for i := 0; i < 1000; i++ {
+			if Point(context.Background()) != nil {
+				fired++
+			}
+		}
+		return fired
+	}
+	a, b := count(99), count(99)
+	if a != b {
+		t.Errorf("same seed fired %d then %d times", a, b)
+	}
+	if a < 200 || a > 400 {
+		t.Errorf("p=0.3 fired %d/1000 times", a)
+	}
+	if c := count(100); c == a {
+		t.Logf("different seeds coincided (%d) — suspicious but possible", c)
+	}
+}
+
+func TestPointDelayHonorsCancellation(t *testing.T) {
+	p, _ := Parse("delay:kern:1h", 7)
+	Arm(p)
+	defer Disarm()
+	SetLabel("kern")
+	defer ClearLabel()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Point(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delay fault ignored cancellation")
+	}
+}
+
+func TestPointDisarmedIsNoop(t *testing.T) {
+	Disarm()
+	SetLabel("kern")
+	defer ClearLabel()
+	if err := Point(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateReader(t *testing.T) {
+	p, _ := Parse("truncate:fasta:10", 7)
+	src := bytes.NewReader(make([]byte, 100))
+	data, err := io.ReadAll(p.WrapReader("fasta", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 10 {
+		t.Errorf("read %d bytes, want 10", len(data))
+	}
+	// Non-matching site passes through untouched.
+	src2 := bytes.NewReader(make([]byte, 100))
+	if r := p.WrapReader("fastq", src2); r != src2 {
+		t.Error("non-matching site should return the reader unchanged")
+	}
+}
+
+func TestCorruptReaderDeterministic(t *testing.T) {
+	read := func(seed int64) []byte {
+		p, _ := Parse("corrupt:fastq:0.2", seed)
+		src := bytes.NewReader(make([]byte, 4096))
+		data, err := io.ReadAll(p.WrapReader("fastq", src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := read(5), read(5)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different corruption")
+	}
+	flipped := 0
+	for _, x := range a {
+		if x != 0 {
+			flipped++
+		}
+	}
+	if flipped < 400 || flipped > 1300 {
+		t.Errorf("corrupted %d/4096 bytes at p=0.2", flipped)
+	}
+	if bytes.Equal(a, read(6)) {
+		t.Error("different seeds produced identical corruption")
+	}
+}
+
+func TestSlowReaderStillDelivers(t *testing.T) {
+	p, _ := Parse("slow:fastq:1ms", 7)
+	src := bytes.NewReader([]byte("hello"))
+	data, err := io.ReadAll(p.WrapReader("fastq", src))
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("slow reader corrupted stream: %q %v", data, err)
+	}
+}
+
+func TestWrapReaderDisarmed(t *testing.T) {
+	Disarm()
+	src := bytes.NewReader([]byte("x"))
+	if r := WrapReader("fasta", src); r != src {
+		t.Error("disarmed WrapReader should return the reader unchanged")
+	}
+}

@@ -1,0 +1,98 @@
+package faultinject
+
+import (
+	"io"
+	"math/rand"
+	"time"
+)
+
+// WrapReader applies the armed plan's reader faults (truncate, corrupt,
+// slow) whose site matches, innermost first in clause order. With no
+// plan armed, or no matching clause, r is returned unchanged. Driver
+// code wraps its input streams once at open time:
+//
+//	reads, err := simio.ReadFastqAuto(faultinject.WrapReader("fastq", f))
+func WrapReader(site string, r io.Reader) io.Reader {
+	p := armed.Load()
+	if p == nil {
+		return r
+	}
+	return p.WrapReader(site, r)
+}
+
+// WrapReader applies p's matching reader faults around r.
+func (p *Plan) WrapReader(site string, r io.Reader) io.Reader {
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if !f.matches(site) {
+			continue
+		}
+		switch f.Kind {
+		case KindTruncate:
+			r = &truncateReader{r: r, remain: f.Bytes}
+		case KindCorrupt:
+			// Reads are sequential, so a private seeded rng keeps the
+			// corruption pattern deterministic for a given plan.
+			r = &corruptReader{
+				r:    r,
+				prob: f.Prob,
+				rng:  rand.New(rand.NewSource(p.Seed ^ int64(splitmix64(uint64(i)+0xc0ffee)))),
+			}
+		case KindSlow:
+			r = &slowReader{r: r, delay: f.Delay}
+		}
+	}
+	return r
+}
+
+// truncateReader simulates a chopped file: it passes through the first
+// `remain` bytes and then reports a clean EOF, exactly what a
+// mid-transfer-truncated .fastq.gz looks like on disk.
+type truncateReader struct {
+	r      io.Reader
+	remain int64
+}
+
+func (t *truncateReader) Read(b []byte) (int, error) {
+	if t.remain <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(b)) > t.remain {
+		b = b[:t.remain]
+	}
+	n, err := t.r.Read(b)
+	t.remain -= int64(n)
+	if t.remain <= 0 && err == nil {
+		err = io.EOF
+	}
+	return n, err
+}
+
+// corruptReader flips one random bit per byte with probability prob.
+type corruptReader struct {
+	r    io.Reader
+	prob float64
+	rng  *rand.Rand
+}
+
+func (c *corruptReader) Read(b []byte) (int, error) {
+	n, err := c.r.Read(b)
+	for i := 0; i < n; i++ {
+		if c.rng.Float64() < c.prob {
+			b[i] ^= 1 << uint(c.rng.Intn(8))
+		}
+	}
+	return n, err
+}
+
+// slowReader sleeps before every Read call, modelling a starved or
+// network-backed input stream.
+type slowReader struct {
+	r     io.Reader
+	delay time.Duration
+}
+
+func (s *slowReader) Read(b []byte) (int, error) {
+	time.Sleep(s.delay)
+	return s.r.Read(b)
+}

@@ -410,3 +410,42 @@ func TestBuildWithOptionsValidation(t *testing.T) {
 		}()
 	}
 }
+
+func TestBuildCheckedRejectsBadInput(t *testing.T) {
+	if _, err := BuildChecked(nil); err == nil {
+		t.Error("BuildChecked(nil) should fail")
+	}
+	g := genome.Seq{0, 1, 2, 3}
+	for _, opts := range []Options{
+		{OccRate: 3, SARate: 32},  // not a power of two
+		{OccRate: 2, SARate: 32},  // too small
+		{OccRate: 64, SARate: 0},  // too small
+		{OccRate: 64, SARate: 24}, // not a power of two
+	} {
+		if _, err := BuildWithOptionsChecked(g, opts); err == nil {
+			t.Errorf("BuildWithOptionsChecked(%+v) should fail", opts)
+		}
+	}
+}
+
+func TestBuildCheckedMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := genome.Random(rng, 400)
+	x, err := BuildChecked(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := g[50:70]
+	if got, want := x.Count(pat), Build(g).Count(pat); got != want {
+		t.Errorf("checked index Count = %d, panicking index = %d", got, want)
+	}
+}
+
+func TestBuildPanicsOnEmptyGenome(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("Build(nil) did not panic")
+		}
+	}()
+	Build(nil)
+}

@@ -1,6 +1,7 @@
 package fmindex
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -75,28 +76,49 @@ type Index struct {
 
 // Build constructs the FMD index of g. The indexed text is
 // g + reverseComplement(g), so patterns and their reverse complements
-// can both be located with a single index.
+// can both be located with a single index. It panics on invalid input;
+// callers that prefer errors use BuildChecked.
 func Build(g genome.Seq) *Index {
-	return BuildWithOptions(g, DefaultOptions())
+	x, err := BuildChecked(g)
+	if err != nil {
+		panic(err.Error())
+	}
+	return x
 }
 
-// BuildWithOptions is Build with explicit sampling rates.
+// BuildChecked is Build returning an error instead of panicking.
+func BuildChecked(g genome.Seq) (*Index, error) {
+	return BuildWithOptionsChecked(g, DefaultOptions())
+}
+
+// BuildWithOptions is Build with explicit sampling rates. It panics on
+// invalid input; callers that prefer errors use BuildWithOptionsChecked.
 func BuildWithOptions(g genome.Seq, opts Options) *Index {
+	x, err := BuildWithOptionsChecked(g, opts)
+	if err != nil {
+		panic(err.Error())
+	}
+	return x
+}
+
+// BuildWithOptionsChecked is BuildWithOptions returning an error on
+// invalid input instead of panicking.
+func BuildWithOptionsChecked(g genome.Seq, opts Options) (*Index, error) {
 	if len(g) == 0 {
-		panic("fmindex: empty genome")
+		return nil, errors.New("fmindex: empty genome")
 	}
 	if opts.OccRate < 4 || opts.OccRate&(opts.OccRate-1) != 0 {
-		panic("fmindex: OccRate must be a power of two >= 4")
+		return nil, errors.New("fmindex: OccRate must be a power of two >= 4")
 	}
 	if opts.SARate < 2 || opts.SARate&(opts.SARate-1) != 0 {
-		panic("fmindex: SARate must be a power of two >= 2")
+		return nil, errors.New("fmindex: SARate must be a power of two >= 2")
 	}
 	rc := g.ReverseComplement()
 	text := make([]byte, 0, 2*len(g))
 	text = append(text, g...)
 	text = append(text, rc...)
 	sa := saisBytes(text, 4)
-	return buildFromSA(g, text, sa, opts)
+	return buildFromSA(g, text, sa, opts), nil
 }
 
 func buildFromSA(g genome.Seq, text []byte, sa []int32, opts Options) *Index {

@@ -1,6 +1,9 @@
 package fmindex
 
 import (
+	"context"
+
+	"repro/internal/faultinject"
 	"repro/internal/genome"
 	"repro/internal/parallel"
 	"repro/internal/perf"
@@ -146,7 +149,19 @@ type KernelResult struct {
 
 // RunKernel executes the fmi benchmark: SMEM search for every read,
 // dynamically scheduled across threads, with per-read work statistics.
+// It panics on failure; cancellable callers use RunKernelCtx.
 func RunKernel(x *Index, reads []genome.Seq, cfg KernelConfig) KernelResult {
+	res, err := RunKernelCtx(context.Background(), x, reads, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunKernelCtx is RunKernel with cooperative cancellation and a fault
+// trip-point per read. On cancellation, injected fault, or worker panic
+// it returns a zero result and the error.
+func RunKernelCtx(ctx context.Context, x *Index, reads []genome.Seq, cfg KernelConfig) (KernelResult, error) {
 	if cfg.Threads <= 0 {
 		cfg.Threads = 1
 	}
@@ -159,14 +174,21 @@ func RunKernel(x *Index, reads []genome.Seq, cfg KernelConfig) KernelResult {
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("occ lookups")
 	}
-	parallel.ForEach(len(reads), cfg.Threads, func(w, i int) {
+	err := parallel.ForEachCtxErr(ctx, len(reads), cfg.Threads, func(tctx context.Context, w, i int) error {
+		if err := faultinject.Point(tctx); err != nil {
+			return err
+		}
 		ws := &workers[w]
 		var lookups uint64
 		smems := x.FindSMEMs(reads[i], cfg.MinSeedLen, cfg.MinHits, &lookups)
 		ws.smems += len(smems)
 		ws.lookups += lookups
 		ws.stats.Observe(float64(lookups))
+		return nil
 	})
+	if err != nil {
+		return KernelResult{}, err
+	}
 	res := KernelResult{Reads: len(reads), TaskStats: perf.NewTaskStats("occ lookups")}
 	for i := range workers {
 		res.SMEMs += workers[i].smems
@@ -178,5 +200,5 @@ func RunKernel(x *Index, reads []genome.Seq, cfg KernelConfig) KernelResult {
 	res.Counters.Add(perf.Load, res.OccLookups*3)
 	res.Counters.Add(perf.IntALU, res.OccLookups*4)
 	res.Counters.Add(perf.Branch, res.OccLookups)
-	return res
+	return res, nil
 }

@@ -7,9 +7,11 @@
 package grm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
+	"repro/internal/faultinject"
 	"repro/internal/parallel"
 	"repro/internal/perf"
 )
@@ -93,7 +95,18 @@ func (g *Genotypes) Standardize() []float64 {
 
 // Compute builds the N x N relationship matrix with tile blocking.
 // The result is symmetric; both triangles are filled.
+// It panics on failure; cancellable callers use ComputeCtx.
 func Compute(g *Genotypes, blockSize, threads int) ([]float64, uint64) {
+	out, flops, err := ComputeCtx(context.Background(), g, blockSize, threads)
+	if err != nil {
+		panic(err)
+	}
+	return out, flops
+}
+
+// ComputeCtx is Compute with cooperative cancellation and a fault
+// trip-point per tile.
+func ComputeCtx(ctx context.Context, g *Genotypes, blockSize, threads int) ([]float64, uint64, error) {
 	if blockSize <= 0 {
 		blockSize = 64
 	}
@@ -111,7 +124,10 @@ func Compute(g *Genotypes, blockSize, threads int) ([]float64, uint64) {
 	}
 	var flops uint64
 	flopsPer := make([]uint64, threadCount(threads))
-	parallel.ForEach(len(tiles), threads, func(w, ti int) {
+	err := parallel.ForEachCtxErr(ctx, len(tiles), threads, func(tctx context.Context, w, ti int) error {
+		if err := faultinject.Point(tctx); err != nil {
+			return err
+		}
 		t := tiles[ti]
 		i0, i1 := t.bi*blockSize, min(n, (t.bi+1)*blockSize)
 		j0, j1 := t.bj*blockSize, min(n, (t.bj+1)*blockSize)
@@ -135,11 +151,15 @@ func Compute(g *Genotypes, blockSize, threads int) ([]float64, uint64) {
 			}
 		}
 		flopsPer[w] += local
+		return nil
 	})
+	if err != nil {
+		return nil, 0, err
+	}
 	for _, f := range flopsPer {
 		flops += f
 	}
-	return out, flops
+	return out, flops, nil
 }
 
 // ComputeNaive is the unblocked O(N^2 S) baseline, provided for the
@@ -185,8 +205,22 @@ type KernelResult struct {
 }
 
 // RunKernel computes the GRM and records its (very regular) op mix.
+// It panics on failure; cancellable callers use RunKernelCtx.
 func RunKernel(g *Genotypes, blockSize, threads int) KernelResult {
-	m, flops := Compute(g, blockSize, threads)
+	res, err := RunKernelCtx(context.Background(), g, blockSize, threads)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunKernelCtx is RunKernel with cooperative cancellation and fault
+// trip-points inside the tile loop.
+func RunKernelCtx(ctx context.Context, g *Genotypes, blockSize, threads int) (KernelResult, error) {
+	m, flops, err := ComputeCtx(ctx, g, blockSize, threads)
+	if err != nil {
+		return KernelResult{}, err
+	}
 	res := KernelResult{N: g.N, S: g.S, FLOPs: flops, Matrix: m}
 	// Dense FMA-dominated multiply: mostly vector FP with streaming
 	// loads (high retiring fraction, near-zero branches).
@@ -195,5 +229,5 @@ func RunKernel(g *Genotypes, blockSize, threads int) KernelResult {
 	res.Counters.Add(perf.Load, flops/4)
 	res.Counters.Add(perf.Store, uint64(g.N)*uint64(g.N)/8)
 	res.Counters.Add(perf.Branch, flops/64)
-	return res
+	return res, nil
 }

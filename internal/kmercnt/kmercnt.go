@@ -8,8 +8,10 @@
 package kmercnt
 
 import (
+	"context"
 	"sort"
 
+	"repro/internal/faultinject"
 	"repro/internal/genome"
 	"repro/internal/parallel"
 	"repro/internal/perf"
@@ -290,7 +292,18 @@ type KernelResult struct {
 // RunKernel counts k-mers across reads. Threads each fill a private
 // table (the shared-table version does not scale, as the paper's
 // Figure 7 shows for kmer-cnt); results merge at the end.
+// It panics on failure; cancellable callers use RunKernelCtx.
 func RunKernel(reads []genome.Seq, k, threads int, mode Probing) KernelResult {
+	res, err := RunKernelCtx(context.Background(), reads, k, threads, mode)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunKernelCtx is RunKernel with cooperative cancellation and a fault
+// trip-point per read.
+func RunKernelCtx(ctx context.Context, reads []genome.Seq, k, threads int, mode Probing) (KernelResult, error) {
 	if threads <= 0 {
 		threads = 1
 	}
@@ -301,11 +314,18 @@ func RunKernel(reads []genome.Seq, k, threads int, mode Probing) KernelResult {
 		tables[i] = NewTable(1<<12, mode)
 		stats[i] = perf.NewTaskStats("kmers")
 	}
-	parallel.ForEach(len(reads), threads, func(w, i int) {
+	err := parallel.ForEachCtxErr(ctx, len(reads), threads, func(tctx context.Context, w, i int) error {
+		if err := faultinject.Point(tctx); err != nil {
+			return err
+		}
 		n := CountSeq(tables[w], reads[i], k)
 		counts[w] += n
 		stats[w].Observe(float64(n))
+		return nil
 	})
+	if err != nil {
+		return KernelResult{}, err
+	}
 	res := KernelResult{TaskStats: perf.NewTaskStats("kmers")}
 	merged := tables[0]
 	for i := 1; i < threads; i++ {
@@ -328,5 +348,5 @@ func RunKernel(reads []genome.Seq, k, threads int, mode Probing) KernelResult {
 	res.Counters.Add(perf.Store, res.Kmers)
 	res.Counters.Add(perf.IntALU, res.Kmers*3)
 	res.Counters.Add(perf.Branch, res.Probes)
-	return res
+	return res, nil
 }

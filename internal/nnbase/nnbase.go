@@ -10,9 +10,11 @@
 package nnbase
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
+	"repro/internal/faultinject"
 	"repro/internal/genome"
 	"repro/internal/nn"
 	"repro/internal/parallel"
@@ -171,7 +173,18 @@ type KernelResult struct {
 }
 
 // RunKernel basecalls every read with dynamic scheduling.
+// It panics on failure; cancellable callers use RunKernelCtx.
 func RunKernel(m *Model, reads []Read, cfg Config, threads int) KernelResult {
+	res, err := RunKernelCtx(context.Background(), m, reads, cfg, threads)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunKernelCtx is RunKernel with cooperative cancellation and a fault
+// trip-point per read.
+func RunKernelCtx(ctx context.Context, m *Model, reads []Read, cfg Config, threads int) (KernelResult, error) {
 	if threads <= 0 {
 		threads = 1
 	}
@@ -185,13 +198,20 @@ func RunKernel(m *Model, reads []Read, cfg Config, threads int) KernelResult {
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("MACs")
 	}
-	parallel.ForEach(len(reads), threads, func(w, i int) {
+	err := parallel.ForEachCtxErr(ctx, len(reads), threads, func(tctx context.Context, w, i int) error {
+		if err := faultinject.Point(tctx); err != nil {
+			return err
+		}
 		seq, macs := m.Basecall(reads[i].Signal, cfg)
 		called[i] = seq
 		workers[w].bases += len(seq)
 		workers[w].macs += macs
 		workers[w].stats.Observe(float64(macs))
+		return nil
 	})
+	if err != nil {
+		return KernelResult{}, err
+	}
 	res := KernelResult{Reads: len(reads), Called: called, TaskStats: perf.NewTaskStats("MACs")}
 	for i := range workers {
 		res.BasesOut += workers[i].bases
@@ -204,7 +224,7 @@ func RunKernel(m *Model, reads []Read, cfg Config, threads int) KernelResult {
 	res.Counters.Add(perf.Load, res.MACs/8)
 	res.Counters.Add(perf.Store, res.MACs/32)
 	res.Counters.Add(perf.Branch, res.MACs/256)
-	return res
+	return res, nil
 }
 
 // EditDistance computes Levenshtein distance between called and truth —

@@ -10,8 +10,10 @@
 package nnvariant
 
 import (
+	"context"
 	"math/rand"
 
+	"repro/internal/faultinject"
 	"repro/internal/genome"
 	"repro/internal/nn"
 	"repro/internal/parallel"
@@ -194,8 +196,19 @@ type KernelResult struct {
 }
 
 // RunKernel predicts every candidate of every task with dynamic
-// scheduling across regions.
+// scheduling across regions. It panics on failure; cancellable
+// callers use RunKernelCtx.
 func RunKernel(m *Model, tasks []*Task, threads int) KernelResult {
+	res, err := RunKernelCtx(context.Background(), m, tasks, threads)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunKernelCtx is RunKernel with cooperative cancellation and a fault
+// trip-point per region task.
+func RunKernelCtx(ctx context.Context, m *Model, tasks []*Task, threads int) (KernelResult, error) {
 	if threads <= 0 {
 		threads = 1
 	}
@@ -209,7 +222,10 @@ func RunKernel(m *Model, tasks []*Task, threads int) KernelResult {
 		workers[i].stats = perf.NewTaskStats("MACs")
 	}
 	perCall := m.MACsPerCall()
-	parallel.ForEach(len(tasks), threads, func(w, i int) {
+	err := parallel.ForEachCtxErr(ctx, len(tasks), threads, func(tctx context.Context, w, i int) error {
+		if err := faultinject.Point(tctx); err != nil {
+			return err
+		}
 		var macs uint64
 		for _, pos := range tasks[i].Candidates {
 			x := BuildTensor(tasks[i].Counts, pos)
@@ -219,7 +235,11 @@ func RunKernel(m *Model, tasks []*Task, threads int) KernelResult {
 		}
 		workers[w].macs += macs
 		workers[w].stats.Observe(float64(macs))
+		return nil
 	})
+	if err != nil {
+		return KernelResult{}, err
+	}
 	res := KernelResult{Tasks: len(tasks), TaskStats: perf.NewTaskStats("MACs")}
 	for i := range workers {
 		res.Calls += workers[i].calls
@@ -231,5 +251,5 @@ func RunKernel(m *Model, tasks []*Task, threads int) KernelResult {
 	res.Counters.Add(perf.Load, res.MACs/8)
 	res.Counters.Add(perf.Store, res.MACs/32)
 	res.Counters.Add(perf.Branch, res.MACs/128)
-	return res
+	return res, nil
 }

@@ -5,17 +5,62 @@
 package parallel
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
+// PanicError is a worker panic recovered by ForEachCtx: the scheduler
+// converts the panic into an error so one bad task cannot take down
+// the whole process. The stack is captured at the panic site.
+type PanicError struct {
+	Task  int    // task index whose fn panicked
+	Value any    // the recovered panic value
+	Stack []byte // goroutine stack at the panic site
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", e.Task, e.Value)
+}
+
+// PanicValue returns the recovered panic value. Together with
+// PanicStack it lets error-wrapping layers (internal/resilience)
+// recognize scheduler-recovered panics without importing this package.
+func (e *PanicError) PanicValue() any { return e.Value }
+
+// PanicStack returns the stack captured at the panic site.
+func (e *PanicError) PanicStack() []byte { return e.Stack }
+
 // ForEach runs fn(i) for every i in [0,n) on `threads` workers that pull
 // task indices from a shared atomic counter — the moral equivalent of
 // `#pragma omp parallel for schedule(dynamic)`. fn receives the worker
 // id so kernels can keep per-worker counters without locking.
+//
+// A panicking task re-panics here (in the caller's goroutine, wrapped
+// in a *PanicError carrying the worker stack) instead of crashing the
+// process from a worker goroutine. Cancellable callers should use
+// ForEachCtx.
 func ForEach(n, threads int, fn func(worker, task int)) {
+	if err := ForEachCtx(context.Background(), n, threads, fn); err != nil {
+		// With a background context the only possible failure is a
+		// recovered worker panic; surface it to preserve the historical
+		// panicking contract.
+		panic(err)
+	}
+}
+
+// ForEachCtx is ForEach with cooperative cancellation and panic
+// isolation: dispatch stops once ctx is cancelled (tasks already
+// running finish), and a panicking task stops dispatch and is returned
+// as a *PanicError instead of crashing the process. The first panic
+// wins; at most one error is returned. Returns ctx.Err() when the run
+// was cancelled, nil when every task completed.
+func ForEachCtx(ctx context.Context, n, threads int, fn func(worker, task int)) error {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
@@ -23,30 +68,87 @@ func ForEach(n, threads int, fn func(worker, task int)) {
 		threads = n
 	}
 	if n <= 0 {
-		return
+		return nil
+	}
+	var stop atomic.Bool
+	var once sync.Once
+	var perr *PanicError
+	runTask := func(worker, task int) {
+		defer func() {
+			if r := recover(); r != nil {
+				// debug.Stack in a deferred recover still sees the
+				// panicking frames, so the error carries the real site.
+				stack := debug.Stack()
+				once.Do(func() {
+					perr = &PanicError{Task: task, Value: r, Stack: stack}
+				})
+				stop.Store(true)
+			}
+		}()
+		fn(worker, task)
 	}
 	if threads <= 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
-		return
-	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for w := 0; w < threads; w++ {
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n {
-					return
-				}
-				fn(worker, i)
+		for i := 0; i < n && !stop.Load(); i++ {
+			if ctx.Err() != nil {
+				break
 			}
-		}(w)
+			runTask(0, i)
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		wg.Add(threads)
+		for w := 0; w < threads; w++ {
+			go func(worker int) {
+				defer wg.Done()
+				// ctx.Err is checked before every dispatch so
+				// cancellation stops new work deterministically; for the
+				// Background context (the ForEach path) it is free.
+				for !stop.Load() && ctx.Err() == nil {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= n {
+						return
+					}
+					runTask(worker, i)
+				}
+			}(w)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if perr != nil {
+		return perr
+	}
+	return ctx.Err()
+}
+
+// ForEachCtxErr is ForEachCtx for error-returning tasks: the first
+// non-nil error a task returns cancels dispatch (in-flight tasks
+// finish) and is returned. Tasks receive the derived context so nested
+// blocking work (fault delays, IO) observes the cancellation too.
+// Worker panics still surface as *PanicError, taking precedence over
+// task errors; parent-context cancellation surfaces as the parent's
+// cause (context.Canceled or context.DeadlineExceeded).
+func ForEachCtxErr(ctx context.Context, n, threads int, fn func(ctx context.Context, worker, task int) error) error {
+	cctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	err := ForEachCtx(cctx, n, threads, func(worker, task int) {
+		if e := fn(cctx, worker, task); e != nil {
+			cancel(e)
+		}
+	})
+	if err == nil {
+		return nil
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return err
+	}
+	// ForEachCtx reports bare cctx.Err(); the cause distinguishes a
+	// task error (recorded by cancel above) from parent cancellation.
+	if cause := context.Cause(cctx); cause != nil {
+		return cause
+	}
+	return err
 }
 
 // ForEachChunked is ForEach with a chunk size greater than one, reducing

@@ -7,8 +7,10 @@
 package phmm
 
 import (
+	"context"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/genome"
 	"repro/internal/parallel"
 	"repro/internal/perf"
@@ -199,8 +201,19 @@ type KernelResult struct {
 
 // RunKernel evaluates all regions with dynamic scheduling; each region
 // is one task, matching the paper's genome-region parallelism
-// granularity for phmm.
+// granularity for phmm. It panics on failure; cancellable callers use
+// RunKernelCtx.
 func RunKernel(regions []*Region, threads int) KernelResult {
+	res, err := RunKernelCtx(context.Background(), regions, threads)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunKernelCtx is RunKernel with cooperative cancellation and a fault
+// trip-point per region.
+func RunKernelCtx(ctx context.Context, regions []*Region, threads int) (KernelResult, error) {
 	if threads <= 0 {
 		threads = 1
 	}
@@ -214,13 +227,20 @@ func RunKernel(regions []*Region, threads int) KernelResult {
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("cell updates")
 	}
-	parallel.ForEach(len(regions), threads, func(w, i int) {
+	err := parallel.ForEachCtxErr(ctx, len(regions), threads, func(tctx context.Context, w, i int) error {
+		if err := faultinject.Point(tctx); err != nil {
+			return err
+		}
 		r := EvaluateRegion(regions[i])
 		workers[w].pairs += len(regions[i].Reads) * len(regions[i].Haps)
 		workers[w].cells += r.CellUpdates
 		workers[w].fallbacks += r.Fallbacks
 		workers[w].stats.Observe(float64(r.CellUpdates))
+		return nil
 	})
+	if err != nil {
+		return KernelResult{}, err
+	}
 	res := KernelResult{Regions: len(regions), TaskStats: perf.NewTaskStats("cell updates")}
 	for i := range workers {
 		res.Pairs += workers[i].pairs
@@ -235,5 +255,5 @@ func RunKernel(regions []*Region, threads int) KernelResult {
 	res.Counters.Add(perf.Load, res.CellUpdates*2)
 	res.Counters.Add(perf.Store, res.CellUpdates)
 	res.Counters.Add(perf.Branch, res.CellUpdates/8)
-	return res
+	return res, nil
 }

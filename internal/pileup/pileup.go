@@ -7,6 +7,9 @@
 package pileup
 
 import (
+	"context"
+
+	"repro/internal/faultinject"
 	"repro/internal/genome"
 	"repro/internal/parallel"
 	"repro/internal/perf"
@@ -139,7 +142,18 @@ type KernelResult struct {
 }
 
 // RunKernel counts every region with dynamic scheduling.
+// It panics on failure; cancellable callers use RunKernelCtx.
 func RunKernel(regions []*Region, threads int) KernelResult {
+	res, err := RunKernelCtx(context.Background(), regions, threads)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunKernelCtx is RunKernel with cooperative cancellation and a fault
+// trip-point per region.
+func RunKernelCtx(ctx context.Context, regions []*Region, threads int) (KernelResult, error) {
 	if threads <= 0 {
 		threads = 1
 	}
@@ -153,7 +167,10 @@ func RunKernel(regions []*Region, threads int) KernelResult {
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("read lookups")
 	}
-	parallel.ForEach(len(regions), threads, func(w, i int) {
+	err := parallel.ForEachCtxErr(ctx, len(regions), threads, func(tctx context.Context, w, i int) error {
+		if err := faultinject.Point(tctx); err != nil {
+			return err
+		}
 		counts, reads := CountRegion(regions[i])
 		workers[w].lookups += uint64(reads)
 		workers[w].positions += uint64(len(counts))
@@ -161,7 +178,11 @@ func RunKernel(regions []*Region, threads int) KernelResult {
 			workers[w].depth += uint64(counts[p].Depth())
 		}
 		workers[w].stats.Observe(float64(reads))
+		return nil
 	})
+	if err != nil {
+		return KernelResult{}, err
+	}
 	res := KernelResult{Regions: len(regions), TaskStats: perf.NewTaskStats("read lookups")}
 	for i := range workers {
 		res.ReadLookups += workers[i].lookups
@@ -177,5 +198,5 @@ func RunKernel(regions []*Region, threads int) KernelResult {
 	res.Counters.Add(perf.IntALU, res.TotalDepth*11)
 	res.Counters.Add(perf.Branch, res.TotalDepth*5)
 	res.Counters.Add(perf.Other, res.ReadLookups)
-	return res
+	return res, nil
 }

@@ -7,6 +7,10 @@
 package poa
 
 import (
+	"context"
+	"errors"
+
+	"repro/internal/faultinject"
 	"repro/internal/genome"
 	"repro/internal/parallel"
 	"repro/internal/perf"
@@ -89,11 +93,26 @@ func (g *Graph) addEdge(from, to int32, w int32) {
 	g.dirty = true
 }
 
+// ErrCycle reports a partial-order graph that is no longer acyclic.
+// A well-formed POA graph is a DAG by construction; hitting this means
+// the graph was corrupted (a kernel bug or injected fault).
+var ErrCycle = errors.New("poa: graph has a cycle")
+
 // topoOrder returns (computing if needed) a topological order via
-// Kahn's algorithm.
+// Kahn's algorithm. It panics on a cyclic graph; callers that prefer
+// errors use topoOrderChecked via the Checked API.
 func (g *Graph) topoOrder() []int32 {
+	order, err := g.topoOrderChecked()
+	if err != nil {
+		panic(err.Error())
+	}
+	return order
+}
+
+// topoOrderChecked is topoOrder returning ErrCycle instead of panicking.
+func (g *Graph) topoOrderChecked() ([]int32, error) {
 	if !g.dirty && g.topo != nil {
-		return g.topo
+		return g.topo, nil
 	}
 	n := len(g.nodes)
 	indeg := make([]int32, n)
@@ -121,11 +140,11 @@ func (g *Graph) topoOrder() []int32 {
 		}
 	}
 	if len(order) != n {
-		panic("poa: graph has a cycle")
+		return nil, ErrCycle
 	}
 	g.topo = order
 	g.dirty = false
-	return order
+	return order, nil
 }
 
 // move codes for backtracking.
@@ -156,6 +175,26 @@ const (
 // backbone.
 func (g *Graph) AddSequence(seq genome.Seq, p Params) {
 	g.AddSequenceMode(seq, p, GlobalMode)
+}
+
+// AddSequenceChecked is AddSequence returning ErrCycle instead of
+// panicking when the graph has been corrupted into a cycle.
+func (g *Graph) AddSequenceChecked(seq genome.Seq, p Params) error {
+	return g.AddSequenceModeChecked(seq, p, GlobalMode)
+}
+
+// AddSequenceModeChecked is AddSequenceMode returning ErrCycle instead
+// of panicking. The cycle check runs up front; alignment and fusion
+// only ever extend a valid DAG, so a graph that passes cannot panic
+// mid-update.
+func (g *Graph) AddSequenceModeChecked(seq genome.Seq, p Params, mode AlignMode) error {
+	if len(seq) > 0 && len(g.nodes) > 0 {
+		if _, err := g.topoOrderChecked(); err != nil {
+			return err
+		}
+	}
+	g.AddSequenceMode(seq, p, mode)
+	return nil
 }
 
 // AddSequenceMode is AddSequence with an explicit alignment mode.
@@ -391,6 +430,18 @@ func (g *Graph) Consensus() genome.Seq {
 	return out
 }
 
+// ConsensusChecked is Consensus returning ErrCycle instead of
+// panicking when the graph has been corrupted into a cycle.
+func (g *Graph) ConsensusChecked() (genome.Seq, error) {
+	if len(g.nodes) == 0 {
+		return nil, nil
+	}
+	if _, err := g.topoOrderChecked(); err != nil {
+		return nil, err
+	}
+	return g.Consensus(), nil
+}
+
 // Window is one consensus task: the read chunks covering one target
 // window, processed on a single thread as in Racon.
 type Window struct {
@@ -417,7 +468,18 @@ type KernelResult struct {
 }
 
 // RunKernel computes every window consensus with dynamic scheduling.
+// It panics on failure; cancellable callers use RunKernelCtx.
 func RunKernel(windows []*Window, p Params, threads int) KernelResult {
+	res, err := RunKernelCtx(context.Background(), windows, p, threads)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunKernelCtx is RunKernel with cooperative cancellation and a fault
+// trip-point per window.
+func RunKernelCtx(ctx context.Context, windows []*Window, p Params, threads int) (KernelResult, error) {
 	if threads <= 0 {
 		threads = 1
 	}
@@ -430,12 +492,19 @@ func RunKernel(windows []*Window, p Params, threads int) KernelResult {
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("cell updates")
 	}
-	parallel.ForEach(len(windows), threads, func(w, i int) {
+	err := parallel.ForEachCtxErr(ctx, len(windows), threads, func(tctx context.Context, w, i int) error {
+		if err := faultinject.Point(tctx); err != nil {
+			return err
+		}
 		cons, cells := ConsensusOf(windows[i], p)
 		consensi[i] = cons
 		workers[w].cells += cells
 		workers[w].stats.Observe(float64(cells))
+		return nil
 	})
+	if err != nil {
+		return KernelResult{}, err
+	}
 	res := KernelResult{Windows: len(windows), Consensi: consensi, TaskStats: perf.NewTaskStats("cell updates")}
 	for i := range workers {
 		res.CellUpdates += workers[i].cells
@@ -448,5 +517,5 @@ func RunKernel(windows []*Window, p Params, threads int) KernelResult {
 	res.Counters.Add(perf.Load, res.CellUpdates*3)
 	res.Counters.Add(perf.Store, res.CellUpdates)
 	res.Counters.Add(perf.Branch, res.CellUpdates/2)
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package poa
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -307,4 +308,58 @@ func editDist(a, b genome.Seq) int {
 		prev, cur = cur, prev
 	}
 	return prev[len(b)]
+}
+
+// corruptWithCycle seeds a small graph and wires a back-edge so the
+// DAG invariant is broken.
+func corruptWithCycle(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	g.AddSequence(genome.Seq{0, 1, 2, 3}, DefaultParams())
+	g.addEdge(3, 0, 1) // back-edge: cycle
+	if !g.dirty {
+		t.Fatal("addEdge should mark the graph dirty")
+	}
+	return g
+}
+
+func TestCheckedVariantsDetectCycle(t *testing.T) {
+	g := corruptWithCycle(t)
+	if err := g.AddSequenceChecked(genome.Seq{0, 1, 2}, DefaultParams()); !errors.Is(err, ErrCycle) {
+		t.Errorf("AddSequenceChecked err = %v, want ErrCycle", err)
+	}
+	if _, err := g.ConsensusChecked(); !errors.Is(err, ErrCycle) {
+		t.Errorf("ConsensusChecked err = %v, want ErrCycle", err)
+	}
+}
+
+func TestCheckedVariantsHealthyGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := genome.Random(rng, 80)
+	g := New()
+	for i := 0; i < 3; i++ {
+		if err := g.AddSequenceChecked(s, DefaultParams()); err != nil {
+			t.Fatalf("AddSequenceChecked on healthy graph: %v", err)
+		}
+	}
+	cons, err := g.ConsensusChecked()
+	if err != nil {
+		t.Fatalf("ConsensusChecked on healthy graph: %v", err)
+	}
+	if !cons.Equal(s) {
+		t.Errorf("checked consensus differs from input")
+	}
+	if cons2, err := New().ConsensusChecked(); err != nil || cons2 != nil {
+		t.Errorf("empty graph ConsensusChecked = %v, %v", cons2, err)
+	}
+}
+
+func TestTopoOrderPanicsOnCycle(t *testing.T) {
+	g := corruptWithCycle(t)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("Consensus on cyclic graph did not panic")
+		}
+	}()
+	g.Consensus()
 }

@@ -3,6 +3,7 @@ package simio
 import (
 	"bufio"
 	"compress/gzip"
+	"fmt"
 	"io"
 )
 
@@ -21,7 +22,11 @@ func MaybeGzip(r io.Reader) (io.Reader, error) {
 		return br, nil
 	}
 	if magic[0] == 0x1f && magic[1] == 0x8b {
-		return gzip.NewReader(br)
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("simio: corrupt gzip header: %w", err)
+		}
+		return zr, nil
 	}
 	return br, nil
 }

@@ -15,6 +15,24 @@ import (
 	"repro/internal/genome"
 )
 
+// StreamError reports a failure partway through a sequence stream —
+// typically a truncated or corrupted .gz file. Records counts the
+// complete records decoded before the failure (they are returned
+// alongside the error so callers can degrade gracefully), and Err is
+// the underlying cause (io.ErrUnexpectedEOF for mid-stream
+// truncation, reachable through errors.Is).
+type StreamError struct {
+	Format  string // "fasta" or "fastq"
+	Records int    // complete records decoded before the error
+	Err     error
+}
+
+func (e *StreamError) Error() string {
+	return fmt.Sprintf("simio: %s stream failed after %d record(s): %v", e.Format, e.Records, e.Err)
+}
+
+func (e *StreamError) Unwrap() error { return e.Err }
+
 // FastaRecord is one named sequence.
 type FastaRecord struct {
 	Name string
@@ -83,7 +101,11 @@ func ReadFasta(r io.Reader) ([]FastaRecord, error) {
 		body.WriteString(line)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// Truncated/corrupted stream (e.g. a chopped .fa.gz): hand back
+		// the records completed before the failure with a StreamError
+		// carrying the count. The in-progress record is dropped — its
+		// tail is missing.
+		return records, &StreamError{Format: "fasta", Records: len(records), Err: err}
 	}
 	if err := flush(); err != nil {
 		return nil, err
@@ -119,51 +141,64 @@ func WriteFastq(w io.Writer, records []FastqRecord) error {
 	return bw.Flush()
 }
 
-// ReadFastq parses all records from a FASTQ stream.
+// ReadFastq parses all records from a FASTQ stream. A failure partway
+// through (truncated .fastq.gz, corrupted record) returns the records
+// completed so far together with a *StreamError carrying the record
+// count; mid-record truncation unwraps to io.ErrUnexpectedEOF.
 func ReadFastq(r io.Reader) ([]FastqRecord, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var records []FastqRecord
+	// fail wraps a mid-stream error. When the scanner stopped on an IO
+	// error, that is the root cause — a truncated stream often
+	// surfaces first as a malformed final record (the scanner flushes
+	// the partial line before reporting the read error).
+	fail := func(err error) ([]FastqRecord, error) {
+		if serr := sc.Err(); serr != nil {
+			err = serr
+		}
+		return records, &StreamError{Format: "fastq", Records: len(records), Err: err}
+	}
 	for sc.Scan() {
 		header := strings.TrimSpace(sc.Text())
 		if header == "" {
 			continue
 		}
 		if header[0] != '@' {
-			return nil, fmt.Errorf("simio: bad FASTQ header %q", header)
+			return fail(fmt.Errorf("bad FASTQ header %q", header))
 		}
 		name := strings.Fields(header[1:])[0]
 		if !sc.Scan() {
-			return nil, io.ErrUnexpectedEOF
+			return fail(io.ErrUnexpectedEOF)
 		}
 		seq, err := genome.FromString(strings.TrimSpace(sc.Text()))
 		if err != nil {
-			return nil, fmt.Errorf("simio: record %q: %w", name, err)
+			return fail(fmt.Errorf("record %q: %w", name, err))
 		}
 		if !sc.Scan() {
-			return nil, io.ErrUnexpectedEOF
+			return fail(io.ErrUnexpectedEOF)
 		}
 		if plus := strings.TrimSpace(sc.Text()); !strings.HasPrefix(plus, "+") {
-			return nil, fmt.Errorf("simio: record %q: missing + separator", name)
+			return fail(fmt.Errorf("record %q: missing + separator", name))
 		}
 		if !sc.Scan() {
-			return nil, io.ErrUnexpectedEOF
+			return fail(io.ErrUnexpectedEOF)
 		}
 		qualStr := strings.TrimSpace(sc.Text())
 		if len(qualStr) != len(seq) {
-			return nil, fmt.Errorf("simio: record %q: %d qualities for %d bases", name, len(qualStr), len(seq))
+			return fail(fmt.Errorf("record %q: %d qualities for %d bases", name, len(qualStr), len(seq)))
 		}
 		qual := make([]byte, len(qualStr))
 		for i := 0; i < len(qualStr); i++ {
 			if qualStr[i] < 33 {
-				return nil, fmt.Errorf("simio: record %q: invalid quality byte %d", name, qualStr[i])
+				return fail(fmt.Errorf("record %q: invalid quality byte %d", name, qualStr[i]))
 			}
 			qual[i] = qualStr[i] - 33
 		}
 		records = append(records, FastqRecord{Name: name, Seq: seq, Qual: qual})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	return records, nil
 }
