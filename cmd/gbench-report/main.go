@@ -3,9 +3,16 @@
 // published values where the paper prints them, ready to paste into
 // EXPERIMENTS.md or a CI artifact.
 //
+// With -metrics it instead (or, with -full, additionally) renders the
+// tables recorded in a gbench -metrics NDJSON file: per-kernel
+// outcomes, scheduler/resilience metrics, fault accounting and runtime
+// samples. Malformed NDJSON is a hard error (exit 1), which is what CI
+// leans on to validate metrics files.
+//
 // Usage:
 //
 //	gbench-report > report.md
+//	gbench -bench all -metrics out.ndjson && gbench-report -metrics out.ndjson
 package main
 
 import (
@@ -20,14 +27,26 @@ import (
 
 func main() {
 	var (
-		size = flag.String("size", "small", "dataset size for measured tables")
-		seed = flag.Int64("seed", 42, "dataset seed")
+		size        = flag.String("size", "small", "dataset size for measured tables")
+		seed        = flag.Int64("seed", 42, "dataset seed")
+		metricsPath = flag.String("metrics", "", "render tables from a gbench -metrics NDJSON file")
+		full        = flag.Bool("full", false, "with -metrics, also regenerate the full paper report")
 	)
 	flag.Parse()
 	sz, err := core.ParseSize(*size)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *metricsPath != "" {
+		if err := renderMetrics(*metricsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "gbench-report: %v\n", err)
+			os.Exit(1)
+		}
+		if !*full {
+			return
+		}
 	}
 
 	fmt.Printf("# GenomicsBench-Go reproduction report\n\n")
@@ -73,4 +92,35 @@ func main() {
 		title := strings.SplitN(t.Title, ":", 2)[0]
 		fmt.Printf("### %s\n\n```\n%s```\n\n", title, t.String())
 	}
+}
+
+// renderMetrics parses a gbench -metrics NDJSON file and renders its
+// tables. Any malformed line fails the whole report.
+func renderMetrics(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	mf, err := core.ReadMetricsNDJSON(f)
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(mf.Kernels) == 0 {
+		return fmt.Errorf("%s holds no kernel records", path)
+	}
+	fmt.Printf("# Suite metrics report\n\n")
+	if m := mf.Meta; m != nil {
+		fmt.Printf("Run started %s on %s/%s (%s, GOMAXPROCS %d)",
+			m.Start, m.OS, m.Arch, m.GoVersion, m.GOMAXPROCS)
+		if m.Faults != "" {
+			fmt.Printf(", fault plan `%s`", m.Faults)
+		}
+		fmt.Printf(".\n\n")
+	}
+	for _, t := range core.MetricsTables(mf) {
+		title := strings.SplitN(t.Title, " (", 2)[0]
+		fmt.Printf("## %s\n\n```\n%s```\n\n", title, t.String())
+	}
+	return nil
 }

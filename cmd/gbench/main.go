@@ -7,12 +7,21 @@
 // policy, then marked failed in the report while the remaining kernels
 // still run. The process exits 0 only when every kernel succeeded.
 //
+// With -metrics and -trace the run leaves machine-readable NDJSON
+// records — provenance meta, one kernel record per kernel (including
+// failed and skipped ones), scheduler/resilience/fault counters,
+// runtime samples, and phase spans — documented in
+// docs/OBSERVABILITY.md. -pprof writes file-based runtime/pprof CPU
+// and heap profiles.
+//
 // Usage:
 //
 //	gbench -bench fmi -size small -threads 4 -seed 42
 //	gbench -bench all -size small
 //	gbench -bench fmi,chain,spoa -size small
 //	gbench -bench all -size small -faults "panic:spoa:1.0"
+//	gbench -bench all -size small -metrics out.ndjson -trace trace.ndjson
+//	gbench -bench all -size small -pprof cpu.out,mem.out
 package main
 
 import (
@@ -25,28 +34,42 @@ import (
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 )
 
 func main() {
 	var (
-		benchName  = flag.String("bench", "all", "kernel name, comma list, or 'all'")
-		sizeName   = flag.String("size", "small", "dataset size: small or large")
-		threads    = flag.Int("threads", 1, "worker threads")
-		seed       = flag.Int64("seed", 42, "dataset seed")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		faults     = flag.String("faults", "", `fault plan, e.g. "panic:spoa:0.5,delay:chain:200ms" (see internal/faultinject)`)
-		faultSeed  = flag.Int64("fault-seed", 1, "seed for deterministic fault firing")
-		timeout    = flag.Duration("timeout", 0, "per-attempt kernel timeout (0 = size default)")
-		attempts   = flag.Int("attempts", 0, "attempts per kernel (0 = policy default)")
+		benchName   = flag.String("bench", "all", "kernel name, comma list, or 'all'")
+		sizeName    = flag.String("size", "small", "dataset size: small or large")
+		threads     = flag.Int("threads", 1, "worker threads")
+		seed        = flag.Int64("seed", 42, "dataset seed")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file (same as the first -pprof path)")
+		pprofSpec   = flag.String("pprof", "", `write runtime/pprof profiles: "cpu.out", "cpu.out,mem.out", or ",mem.out"`)
+		metricsPath = flag.String("metrics", "", "write run metrics (NDJSON) to this file")
+		tracePath   = flag.String("trace", "", "write phase spans (NDJSON) to this file")
+		sampleEvery = flag.Duration("sample-interval", 100*time.Millisecond, "runtime sampler interval (with -metrics)")
+		faults      = flag.String("faults", "", `fault plan, e.g. "panic:spoa:0.5,delay:chain:200ms" (see internal/faultinject)`)
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for deterministic fault firing")
+		timeout     = flag.Duration("timeout", 0, "per-attempt kernel timeout (0 = size default)")
+		attempts    = flag.Int("attempts", 0, "attempts per kernel (0 = policy default)")
 	)
 	flag.Parse()
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+	cpuPath, memPath, err := parsePprofSpec(*pprofSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if cpuPath == "" {
+		cpuPath = *cpuProfile
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -70,8 +93,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	var plan *faultinject.Plan
 	if *faults != "" {
-		plan, err := faultinject.Parse(*faults, *faultSeed)
+		plan, err = faultinject.Parse(*faults, *faultSeed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -89,6 +113,17 @@ func main() {
 		policy.Attempts = *attempts
 	}
 
+	// Observability: metrics registry + spans whenever either output
+	// was requested; the runtime sampler only with -metrics (it is the
+	// only consumer of the samples).
+	var observer *obs.Observer
+	if *metricsPath != "" || *tracePath != "" {
+		observer = obs.NewObserver()
+		if *metricsPath != "" {
+			observer.Sampler = obs.StartSampler(*sampleEvery)
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -97,11 +132,37 @@ func main() {
 		Seed:    *seed,
 		Threads: *threads,
 		Policy:  policy,
+		Obs:     observer,
 		Progress: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "gbench: "+format+"\n", args...)
 		},
 	}
+	meta := core.NewRunMeta(cfg, *faults)
 	outcomes := core.RunSuite(ctx, benches, cfg)
+
+	if observer != nil {
+		observer.Sampler.Stop()
+	}
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, meta, outcomes, plan, observer); err != nil {
+			fmt.Fprintf(os.Stderr, "gbench: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gbench: metrics written to %s\n", *metricsPath)
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, meta, observer); err != nil {
+			fmt.Fprintf(os.Stderr, "gbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gbench: trace written to %s\n", *tracePath)
+	}
+	if memPath != "" {
+		if err := writeHeapProfile(memPath); err != nil {
+			fmt.Fprintf(os.Stderr, "gbench: writing heap profile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	// The first six columns match the historical report exactly; the
 	// resilience columns are appended so success rows stay byte-stable
@@ -136,6 +197,70 @@ func main() {
 		}
 	}
 	os.Exit(1)
+}
+
+// parsePprofSpec splits -pprof into CPU and heap profile paths:
+// "cpu.out" (CPU only), "cpu.out,mem.out" (both), ",mem.out" (heap
+// only).
+func parsePprofSpec(spec string) (cpu, mem string, err error) {
+	if spec == "" {
+		return "", "", nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) > 2 {
+		return "", "", fmt.Errorf(`gbench: bad -pprof %q (want "cpu.out", "cpu.out,mem.out", or ",mem.out")`, spec)
+	}
+	cpu = strings.TrimSpace(parts[0])
+	if len(parts) == 2 {
+		mem = strings.TrimSpace(parts[1])
+	}
+	if cpu == "" && mem == "" {
+		return "", "", fmt.Errorf("gbench: -pprof %q names no profile paths", spec)
+	}
+	return cpu, mem, nil
+}
+
+func writeMetrics(path string, meta core.RunMeta, outcomes []core.KernelOutcome, plan *faultinject.Plan, observer *obs.Observer) error {
+	var faultRecs []core.FaultRecord
+	for _, s := range plan.Stats() {
+		faultRecs = append(faultRecs, core.FaultRecord{
+			Type: "fault", Clause: s.Clause, Site: s.Site, Kind: s.Kind.String(),
+			Evals: s.Evals, Tripped: s.Tripped,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := core.WriteMetricsNDJSON(f, meta, outcomes, faultRecs, observer); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTrace(path string, meta core.RunMeta, observer *obs.Observer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := core.WriteTraceNDJSON(f, meta, observer); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // selectBenches resolves -bench: "all", one name, or a comma list.

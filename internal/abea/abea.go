@@ -259,6 +259,7 @@ func RunKernelCtx(ctx context.Context, model *signalsim.PoreModel, reads []signa
 		cells uint64
 		oob   int
 		stats *perf.TaskStats
+		_     perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]ws, threads)
 	for i := range workers {

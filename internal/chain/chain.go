@@ -213,6 +213,7 @@ func RunKernelCtx(ctx context.Context, tasks []Task, cfg Config, threads int) (K
 		chains int
 		comps  uint64
 		stats  *perf.TaskStats
+		_      perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]ws, threads)
 	for i := range workers {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 )
 
@@ -58,6 +59,11 @@ type SuiteConfig struct {
 	// (started, retried, failed); the driver points it at stderr so
 	// the stdout report table stays clean.
 	Progress func(format string, args ...any)
+	// Obs, when non-nil, receives the run's metrics, spans, and
+	// runtime-sampler labels. RunSuite installs it into the context it
+	// hands kernels, so the scheduler (parallel) and supervisor
+	// (resilience) layers record into it too.
+	Obs *obs.Observer
 }
 
 // PolicyFor returns the per-attempt retry/timeout policy matched to a
@@ -85,6 +91,9 @@ func RunSuite(ctx context.Context, benches []Benchmark, cfg SuiteConfig) []Kerne
 	if progress == nil {
 		progress = func(string, ...any) {}
 	}
+	o := cfg.Obs // may be nil; every obs call below degrades to a no-op
+	ctx = obs.With(ctx, o)
+	sctx, suiteSpan := o.StartSpan(ctx, "suite")
 	outcomes := make([]KernelOutcome, 0, len(benches))
 	for _, b := range benches {
 		info := b.Info()
@@ -92,34 +101,48 @@ func RunSuite(ctx context.Context, benches []Benchmark, cfg SuiteConfig) []Kerne
 		if ctx.Err() != nil {
 			out.Status = StatusSkipped
 			out.Err = ctx.Err()
+			_, span := o.StartSpan(sctx, "kernel:"+info.Name)
+			span.EndStatus(StatusSkipped.String())
+			o.Counter("suite.kernels", info.Name).Inc()
+			o.Counter("suite.kernels_"+StatusSkipped.String(), info.Name).Inc()
 			outcomes = append(outcomes, out)
 			continue
 		}
 		progress("%s: running", info.Name)
 		faultinject.SetLabel(info.Name)
+		o.SetLabel(info.Name)
+		kctx, kernelSpan := o.StartSpan(obs.WithLabel(sctx, info.Name), "kernel:"+info.Name)
 		// Prepare runs inside the resilience envelope so a panic while
 		// building the dataset is isolated like a kernel panic; the
 		// prepared flag keeps retries from rebuilding it needlessly.
 		prepared := false
 		var stats RunStats
 		attempt := 0
-		err := resilience.Run(ctx, info.Name, cfg.Policy, func(actx context.Context) error {
+		err := resilience.Run(kctx, info.Name, cfg.Policy, func(actx context.Context) error {
 			attempt++
 			if attempt > 1 {
 				progress("%s: retrying (attempt %d)", info.Name, attempt)
 			}
+			actx, attemptSpan := o.StartSpan(actx, fmt.Sprintf("attempt-%d", attempt))
+			defer func() { attemptSpan.End(nil) }()
 			if !prepared {
+				_, prepSpan := o.StartSpan(actx, "prepare")
 				b.Prepare(cfg.Size, cfg.Seed)
+				prepSpan.End(nil)
 				prepared = true
 			}
-			s, err := b.RunCtx(actx, cfg.Threads)
+			rctx, runSpan := o.StartSpan(actx, "run")
+			s, err := b.RunCtx(rctx, cfg.Threads)
+			runSpan.End(err)
 			if err == nil {
 				stats = s
 			}
 			return err
 		})
 		faultinject.ClearLabel()
+		o.SetLabel("")
 		b.Release()
+		o.Counter("suite.kernels", info.Name).Inc()
 		if err != nil {
 			var ke *resilience.KernelError
 			if errors.As(err, &ke) {
@@ -133,15 +156,40 @@ func RunSuite(ctx context.Context, benches []Benchmark, cfg SuiteConfig) []Kerne
 				out.Status = StatusFailed
 			}
 			out.Err = err
+			kernelSpan.EndStatus(out.Status.String())
 			progress("%s: %s after %d attempt(s): %v", info.Name, out.Status, out.Attempts, err)
 		} else {
 			out.Stats = stats
 			out.Attempts = attempt
+			kernelSpan.End(nil)
+			recordKernelMetrics(o, info.Name, &stats)
 			progress("%s: ok in %s", info.Name, stats.Elapsed.Round(time.Millisecond))
 		}
+		o.Counter("suite.kernels_"+out.Status.String(), info.Name).Inc()
 		outcomes = append(outcomes, out)
 	}
+	suiteSpan.End(ctx.Err())
 	return outcomes
+}
+
+// recordKernelMetrics publishes one successful kernel execution's
+// headline numbers into the registry: elapsed time (histogram, so
+// repeated runs aggregate), op and task totals, and the task-work
+// imbalance ratio that backs the paper's Figure 4.
+func recordKernelMetrics(o *obs.Observer, kernel string, stats *RunStats) {
+	if o == nil {
+		return
+	}
+	o.Histogram("kernel.elapsed_ns", kernel, "ns").Observe(float64(stats.Elapsed.Nanoseconds()))
+	o.Counter("kernel.ops", kernel).Add(stats.Counters.Total())
+	if stats.TaskStats != nil {
+		s := stats.TaskStats.Summarize()
+		o.Counter("kernel.tasks", kernel).Add(uint64(s.Count))
+		o.Gauge("kernel.task_work_max_to_mean", kernel).Set(s.MaxToMean)
+	}
+	for k, v := range stats.Extra {
+		o.Gauge("kernel.extra."+k, kernel).Set(v)
+	}
 }
 
 // FailedOutcomes filters the failures (anything not StatusOK) from a

@@ -271,6 +271,7 @@ func RunKernelCtx(ctx context.Context, regions []*Region, cfg Config, threads in
 		lookups uint64
 		retries int
 		stats   *perf.TaskStats
+		_       perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]ws, threads)
 	for i := range workers {

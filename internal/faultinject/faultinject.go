@@ -77,6 +77,38 @@ type Plan struct {
 	// fires iff hash(seed, i, n) < prob, which makes the fired set a
 	// pure function of the plan regardless of worker scheduling.
 	evals []atomic.Uint64
+	// Per-fault trip counters: how many evaluations actually fired
+	// (panicked, errored, slept, or wrapped a reader). Armed-vs-tripped
+	// is what observability reports surface.
+	trips []atomic.Uint64
+}
+
+// FaultStat is one clause's armed-vs-tripped accounting.
+type FaultStat struct {
+	Clause  string // the clause in spec form, e.g. "panic:spoa:0.5"
+	Kind    Kind
+	Site    string
+	Evals   uint64 // times the clause was evaluated at a matching site
+	Tripped uint64 // times it actually fired
+}
+
+// Stats reports per-clause evaluation and trip counts accumulated
+// since the plan was parsed. Nil-safe (returns nil).
+func (p *Plan) Stats() []FaultStat {
+	if p == nil {
+		return nil
+	}
+	out := make([]FaultStat, len(p.Faults))
+	for i := range p.Faults {
+		out[i] = FaultStat{
+			Clause:  clauseString(&p.Faults[i]),
+			Kind:    p.Faults[i].Kind,
+			Site:    p.Faults[i].Site,
+			Evals:   p.evals[i].Load(),
+			Tripped: p.trips[i].Load(),
+		}
+	}
+	return out
 }
 
 // Parse builds a Plan from a spec string. An empty spec yields a nil
@@ -140,7 +172,20 @@ func Parse(spec string, seed int64) (*Plan, error) {
 		p.Faults = append(p.Faults, f)
 	}
 	p.evals = make([]atomic.Uint64, len(p.Faults))
+	p.trips = make([]atomic.Uint64, len(p.Faults))
 	return p, nil
+}
+
+// clauseString renders one fault back into spec form.
+func clauseString(f *Fault) string {
+	switch f.Kind {
+	case KindDelay, KindSlow:
+		return fmt.Sprintf("%s:%s:%s", f.Kind, f.Site, f.Delay)
+	case KindTruncate:
+		return fmt.Sprintf("%s:%s:%d", f.Kind, f.Site, f.Bytes)
+	default: // panic, error, corrupt
+		return fmt.Sprintf("%s:%s:%g", f.Kind, f.Site, f.Prob)
+	}
 }
 
 // String renders the plan back into spec form.
@@ -148,16 +193,9 @@ func (p *Plan) String() string {
 	if p == nil {
 		return ""
 	}
-	var clauses []string
-	for _, f := range p.Faults {
-		switch f.Kind {
-		case KindPanic, KindError, KindCorrupt:
-			clauses = append(clauses, fmt.Sprintf("%s:%s:%g", f.Kind, f.Site, f.Prob))
-		case KindDelay, KindSlow:
-			clauses = append(clauses, fmt.Sprintf("%s:%s:%s", f.Kind, f.Site, f.Delay))
-		case KindTruncate:
-			clauses = append(clauses, fmt.Sprintf("%s:%s:%d", f.Kind, f.Site, f.Bytes))
-		}
+	clauses := make([]string, len(p.Faults))
+	for i := range p.Faults {
+		clauses[i] = clauseString(&p.Faults[i])
 	}
 	return strings.Join(clauses, ",")
 }
@@ -178,19 +216,24 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// fire decides deterministically whether evaluation n of fault i fires.
+// fire decides deterministically whether evaluation n of fault i
+// fires, updating the clause's eval and trip counters.
 func (p *Plan) fire(i int, prob float64) bool {
-	if prob >= 1 {
-		p.evals[i].Add(1)
-		return true
-	}
-	if prob <= 0 {
-		p.evals[i].Add(1)
-		return false
-	}
 	n := p.evals[i].Add(1) - 1
-	u := splitmix64(uint64(p.Seed)*0x9e3779b97f4a7c15 ^ uint64(i)<<32 ^ n)
-	return float64(u>>11)/(1<<53) < prob
+	fired := false
+	switch {
+	case prob >= 1:
+		fired = true
+	case prob <= 0:
+		fired = false
+	default:
+		u := splitmix64(uint64(p.Seed)*0x9e3779b97f4a7c15 ^ uint64(i)<<32 ^ n)
+		fired = float64(u>>11)/(1<<53) < prob
+	}
+	if fired {
+		p.trips[i].Add(1)
+	}
+	return fired
 }
 
 // ---- global arming ----
@@ -272,6 +315,8 @@ func (p *Plan) point(ctx context.Context, lbl string) error {
 		}
 		switch f.Kind {
 		case KindDelay:
+			p.evals[i].Add(1)
+			p.trips[i].Add(1) // a delay fault fires on every matching evaluation
 			if err := sleepCtx(ctx, f.Delay); err != nil {
 				return err
 			}

@@ -28,6 +28,12 @@ func (p *Plan) WrapReader(site string, r io.Reader) io.Reader {
 			continue
 		}
 		switch f.Kind {
+		case KindTruncate, KindCorrupt, KindSlow:
+			// Wrapping a stream counts as the clause tripping once.
+			p.evals[i].Add(1)
+			p.trips[i].Add(1)
+		}
+		switch f.Kind {
 		case KindTruncate:
 			r = &truncateReader{r: r, remain: f.Bytes}
 		case KindCorrupt:

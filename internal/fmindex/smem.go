@@ -169,6 +169,7 @@ func RunKernelCtx(ctx context.Context, x *Index, reads []genome.Seq, cfg KernelC
 		smems   int
 		lookups uint64
 		stats   *perf.TaskStats
+		_       perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]workerState, cfg.Threads)
 	for i := range workers {

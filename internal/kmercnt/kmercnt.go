@@ -307,31 +307,38 @@ func RunKernelCtx(ctx context.Context, reads []genome.Seq, k, threads int, mode 
 	if threads <= 0 {
 		threads = 1
 	}
-	tables := make([]*Table, threads)
-	stats := make([]*perf.TaskStats, threads)
-	counts := make([]uint64, threads)
-	for i := range tables {
-		tables[i] = NewTable(1<<12, mode)
-		stats[i] = perf.NewTaskStats("kmers")
+	// Per-worker shards are padded: bare adjacent uint64 accumulators
+	// false-share cache lines between workers, skewing the timings the
+	// kernel exists to measure.
+	type ws struct {
+		table *Table
+		stats *perf.TaskStats
+		count uint64
+		_     perf.CacheLinePad
+	}
+	workers := make([]ws, threads)
+	for i := range workers {
+		workers[i].table = NewTable(1<<12, mode)
+		workers[i].stats = perf.NewTaskStats("kmers")
 	}
 	err := parallel.ForEachCtxErr(ctx, len(reads), threads, func(tctx context.Context, w, i int) error {
 		if err := faultinject.Point(tctx); err != nil {
 			return err
 		}
-		n := CountSeq(tables[w], reads[i], k)
-		counts[w] += n
-		stats[w].Observe(float64(n))
+		n := CountSeq(workers[w].table, reads[i], k)
+		workers[w].count += n
+		workers[w].stats.Observe(float64(n))
 		return nil
 	})
 	if err != nil {
 		return KernelResult{}, err
 	}
 	res := KernelResult{TaskStats: perf.NewTaskStats("kmers")}
-	merged := tables[0]
+	merged := workers[0].table
 	for i := 1; i < threads; i++ {
-		for s, key := range tables[i].keys {
+		for s, key := range workers[i].table.keys {
 			if key != 0 {
-				for c := uint32(0); c < tables[i].counts[s]; c++ {
+				for c := uint32(0); c < workers[i].table.counts[s]; c++ {
 					merged.Increment(key - 1)
 				}
 			}
@@ -339,9 +346,9 @@ func RunKernelCtx(ctx context.Context, reads []genome.Seq, k, threads int, mode 
 	}
 	res.Distinct = merged.Len()
 	for i := 0; i < threads; i++ {
-		res.Kmers += counts[i]
-		res.Probes += tables[i].Probes
-		res.TaskStats.Merge(stats[i])
+		res.Kmers += workers[i].count
+		res.Probes += workers[i].table.Probes
+		res.TaskStats.Merge(workers[i].stats)
 	}
 	// Memory-dominated: each insert is a random load + tiny store.
 	res.Counters.Add(perf.Load, res.Probes*2)

@@ -193,6 +193,7 @@ func RunKernelCtx(ctx context.Context, m *Model, reads []Read, cfg Config, threa
 		bases int
 		macs  uint64
 		stats *perf.TaskStats
+		_     perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]ws, threads)
 	for i := range workers {

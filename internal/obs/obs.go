@@ -1,0 +1,108 @@
+// Package obs is the suite's observability layer: a lightweight,
+// allocation-conscious metrics registry (counters, gauges, log-scale
+// histograms with quantiles), span tracing around kernel phases, and a
+// runtime sampler (heap, allocations, GC pauses, goroutines) — all
+// exported as NDJSON so every suite run leaves a machine-readable,
+// provenance-stamped record of what ran, how fast, how parallel, and
+// at what memory cost.
+//
+// The layer is wired through context: the driver installs an *Observer
+// with With, and instrumented layers (parallel, resilience, core) pull
+// it back out with From. Every type in this package is nil-safe — a
+// nil *Observer, *Registry, *Tracer, *Counter, ... accepts all calls
+// as no-ops — so instrumentation sites never branch on "is observability
+// on", and uninstrumented runs pay only a context lookup.
+package obs
+
+import "context"
+
+// Observer bundles the three observability components. Any field may
+// be nil; the accessors below degrade to no-ops.
+type Observer struct {
+	Metrics *Registry
+	Tracer  *Tracer
+	Sampler *Sampler
+}
+
+// NewObserver returns an Observer with a fresh registry and tracer
+// (no sampler; callers that want runtime sampling attach one).
+func NewObserver() *Observer {
+	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer()}
+}
+
+// Counter returns the named counter from the observer's registry, or
+// nil (a no-op handle) when the observer or registry is nil.
+func (o *Observer) Counter(name, label string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name, label)
+}
+
+// Gauge returns the named gauge, or a no-op handle.
+func (o *Observer) Gauge(name, label string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name, label)
+}
+
+// Histogram returns the named histogram, or a no-op handle.
+func (o *Observer) Histogram(name, label, unit string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name, label, unit)
+}
+
+// StartSpan opens a span under the observer's tracer; with a nil
+// observer or tracer it returns ctx unchanged and a nil (no-op) span.
+func (o *Observer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if o == nil {
+		return ctx, nil
+	}
+	return o.Tracer.Start(ctx, name)
+}
+
+// SetLabel points the runtime sampler's label at the currently running
+// kernel. No-op without a sampler.
+func (o *Observer) SetLabel(label string) {
+	if o == nil {
+		return
+	}
+	o.Sampler.SetLabel(label)
+}
+
+type ctxKey int
+
+const (
+	observerKey ctxKey = iota
+	labelKey
+	spanKey
+)
+
+// With installs o into the context. A nil o returns ctx unchanged.
+func With(ctx context.Context, o *Observer) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, observerKey, o)
+}
+
+// From extracts the Observer installed by With, or nil.
+func From(ctx context.Context) *Observer {
+	o, _ := ctx.Value(observerKey).(*Observer)
+	return o
+}
+
+// WithLabel records the metric label (by convention the kernel name)
+// instrumented layers below the driver should tag their metrics with.
+func WithLabel(ctx context.Context, label string) context.Context {
+	return context.WithValue(ctx, labelKey, label)
+}
+
+// Label returns the label installed by WithLabel, or "".
+func Label(ctx context.Context) string {
+	l, _ := ctx.Value(labelKey).(string)
+	return l
+}

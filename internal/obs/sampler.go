@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sample is one runtime snapshot taken while the suite was executing.
+type Sample struct {
+	Type        string `json:"type"`            // always "sample"
+	OffsetNs    int64  `json:"offset_ns"`       // since the sampler started
+	Label       string `json:"label,omitempty"` // kernel running at sample time
+	HeapInuse   uint64 `json:"heap_inuse"`
+	HeapObjects uint64 `json:"heap_objects"`
+	TotalAlloc  uint64 `json:"total_alloc"`
+	NumGC       uint32 `json:"num_gc"`
+	GCPauseNs   uint64 `json:"gc_pause_total_ns"`
+	Goroutines  int    `json:"goroutines"`
+}
+
+// Sampler polls the Go runtime on a ticker while kernels execute:
+// heap in use, cumulative allocation, GC pause totals and goroutine
+// count, each sample tagged with the kernel label current at sample
+// time. Start it once per run; Stop flushes a final sample so short
+// runs still record at least one. A nil *Sampler accepts all calls.
+type Sampler struct {
+	interval time.Duration
+	start    time.Time
+	label    atomic.Pointer[string]
+	stop     chan struct{}
+	done     chan struct{}
+	mu       sync.Mutex
+	samples  []Sample
+}
+
+// StartSampler begins sampling every interval (values below 10ms are
+// clamped to 10ms: runtime.ReadMemStats stops the world briefly, so
+// sampling faster would perturb the measurements it reports).
+func StartSampler(interval time.Duration) *Sampler {
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	s := &Sampler{
+		interval: interval,
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+// SetLabel tags subsequent samples with the given label. Nil-safe.
+func (s *Sampler) SetLabel(label string) {
+	if s == nil {
+		return
+	}
+	s.label.Store(&label)
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			s.take() // final sample so short runs record at least one
+			return
+		case <-t.C:
+			s.take()
+		}
+	}
+}
+
+func (s *Sampler) take() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	label := ""
+	if l := s.label.Load(); l != nil {
+		label = *l
+	}
+	sample := Sample{
+		Type:        "sample",
+		OffsetNs:    time.Since(s.start).Nanoseconds(),
+		Label:       label,
+		HeapInuse:   ms.HeapInuse,
+		HeapObjects: ms.HeapObjects,
+		TotalAlloc:  ms.TotalAlloc,
+		NumGC:       ms.NumGC,
+		GCPauseNs:   ms.PauseTotalNs,
+		Goroutines:  runtime.NumGoroutine(),
+	}
+	s.mu.Lock()
+	s.samples = append(s.samples, sample)
+	s.mu.Unlock()
+}
+
+// Stop halts the sampling goroutine (taking one final sample) and
+// waits for it to exit. Safe to call once; nil-safe.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+}
+
+// Samples returns the collected samples in time order. Nil-safe.
+func (s *Sampler) Samples() []Sample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects spans. Spans form a tree through the context: Start
+// parents the new span under the span already in ctx (0 = root). A
+// nil *Tracer hands out nil spans and accepts all calls.
+type Tracer struct {
+	epoch  time.Time
+	nextID atomic.Uint64
+	mu     sync.Mutex
+	done   []SpanRecord
+}
+
+// NewTracer returns an empty tracer. Span start offsets are relative
+// to this call, so a trace is self-contained.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span is one in-flight operation. End it exactly once; a nil *Span
+// accepts all calls.
+type Span struct {
+	tracer   *Tracer
+	id       uint64
+	parent   uint64
+	name     string
+	start    time.Time
+	annotMu  sync.Mutex
+	annots   map[string]string
+	finished atomic.Bool
+}
+
+// SpanRecord is a finished span, shaped for NDJSON export.
+type SpanRecord struct {
+	Type    string            `json:"type"` // always "span"
+	ID      uint64            `json:"id"`
+	Parent  uint64            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartNs int64             `json:"start_ns"` // offset from the tracer epoch
+	DurNs   int64             `json:"dur_ns"`
+	Status  string            `json:"status"` // "ok" or an error summary
+	Annots  map[string]string `json:"annots,omitempty"`
+}
+
+// Start opens a span named name, parented under the span in ctx if
+// any, and returns a derived context carrying the new span. Nil-safe:
+// a nil tracer returns ctx unchanged and a nil span.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	var parent uint64
+	if ps, _ := ctx.Value(spanKey).(*Span); ps != nil {
+		parent = ps.id
+	}
+	s := &Span{
+		tracer: t,
+		id:     t.nextID.Add(1),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// Annotate attaches a key/value pair to the span. Nil-safe.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.annotMu.Lock()
+	if s.annots == nil {
+		s.annots = make(map[string]string)
+	}
+	s.annots[key] = value
+	s.annotMu.Unlock()
+}
+
+// End finishes the span with status "ok" when err is nil, else the
+// first line of err. Only the first End is recorded. Nil-safe.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	status := "ok"
+	if err != nil {
+		status = err.Error()
+		if i := strings.IndexByte(status, '\n'); i >= 0 {
+			status = status[:i]
+		}
+	}
+	s.EndStatus(status)
+}
+
+// EndStatus finishes the span with an explicit status string (used for
+// outcomes that are not plain errors: "timeout", "skipped"). Nil-safe;
+// like End, only the first finish is recorded.
+func (s *Span) EndStatus(status string) {
+	if s == nil || !s.finished.CompareAndSwap(false, true) {
+		return
+	}
+	t := s.tracer
+	rec := SpanRecord{
+		Type:    "span",
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartNs: s.start.Sub(t.epoch).Nanoseconds(),
+		DurNs:   time.Since(s.start).Nanoseconds(),
+		Status:  status,
+	}
+	s.annotMu.Lock()
+	if len(s.annots) > 0 {
+		rec.Annots = make(map[string]string, len(s.annots))
+		for k, v := range s.annots {
+			rec.Annots[k] = v
+		}
+	}
+	s.annotMu.Unlock()
+	t.mu.Lock()
+	t.done = append(t.done, rec)
+	t.mu.Unlock()
+}
+
+// Spans returns the finished spans in completion order. Nil-safe.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.done))
+	copy(out, t.done)
+	return out
+}

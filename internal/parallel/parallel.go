@@ -2,6 +2,11 @@
 // multi-threaded GenomicsBench kernel, mirroring the paper's use of
 // OpenMP dynamic scheduling, plus the harness that measures thread
 // scaling for Figure 7.
+//
+// When an obs.Observer is installed in the context (the suite driver
+// does this), the scheduler records a per-task latency histogram and a
+// worker-utilization gauge per run, labeled with the kernel name from
+// obs.Label. Without an observer the only cost is a context lookup.
 package parallel
 
 import (
@@ -10,9 +15,13 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/perf"
 )
 
 // PanicError is a worker panic recovered by ForEachCtx: the scheduler
@@ -54,6 +63,15 @@ func ForEach(n, threads int, fn func(worker, task int)) {
 	}
 }
 
+// workerClock accumulates one worker's busy time and completed-task
+// count. The trailing pad keeps adjacent workers' clocks on separate
+// cache lines (the accumulators are written from every task).
+type workerClock struct {
+	busyNs int64
+	tasks  int64
+	_      perf.CacheLinePad
+}
+
 // ForEachCtx is ForEach with cooperative cancellation and panic
 // isolation: dispatch stops once ctx is cancelled (tasks already
 // running finish), and a panicking task stops dispatch and is returned
@@ -70,6 +88,24 @@ func ForEachCtx(ctx context.Context, n, threads int, fn func(worker, task int)) 
 	if n <= 0 {
 		return nil
 	}
+
+	// Observability: per-task latency histogram plus per-run worker
+	// utilization, labeled by the kernel installed via obs.WithLabel.
+	// All handles are nil (no-op) when no observer is installed.
+	var (
+		taskHist *obs.Histogram
+		clocks   []workerClock
+		t0       time.Time
+	)
+	o := obs.From(ctx)
+	label := ""
+	if o != nil {
+		label = obs.Label(ctx)
+		taskHist = o.Histogram("parallel.task_latency_ns", label, "ns")
+		clocks = make([]workerClock, threads)
+		t0 = time.Now()
+	}
+
 	var stop atomic.Bool
 	var once sync.Once
 	var perr *PanicError
@@ -85,7 +121,16 @@ func ForEachCtx(ctx context.Context, n, threads int, fn func(worker, task int)) 
 				stop.Store(true)
 			}
 		}()
+		if taskHist == nil {
+			fn(worker, task)
+			return
+		}
+		start := time.Now()
 		fn(worker, task)
+		d := time.Since(start)
+		taskHist.Observe(float64(d.Nanoseconds()))
+		clocks[worker].busyNs += d.Nanoseconds()
+		clocks[worker].tasks++
 	}
 	if threads <= 1 {
 		for i := 0; i < n && !stop.Load(); i++ {
@@ -115,6 +160,22 @@ func ForEachCtx(ctx context.Context, n, threads int, fn func(worker, task int)) 
 		}
 		wg.Wait()
 	}
+
+	if o != nil {
+		wall := time.Since(t0)
+		var busy, done int64
+		for i := range clocks {
+			busy += clocks[i].busyNs
+			done += clocks[i].tasks
+		}
+		if wall > 0 {
+			util := float64(busy) / (float64(wall.Nanoseconds()) * float64(threads))
+			o.Gauge("parallel.worker_utilization", label).Set(util)
+		}
+		o.Gauge("parallel.workers", label).Set(float64(threads))
+		o.Counter("parallel.tasks_completed", label).Add(uint64(done))
+	}
+
 	if perr != nil {
 		return perr
 	}
@@ -123,16 +184,26 @@ func ForEachCtx(ctx context.Context, n, threads int, fn func(worker, task int)) 
 
 // ForEachCtxErr is ForEachCtx for error-returning tasks: the first
 // non-nil error a task returns cancels dispatch (in-flight tasks
-// finish) and is returned. Tasks receive the derived context so nested
-// blocking work (fault delays, IO) observes the cancellation too.
-// Worker panics still surface as *PanicError, taking precedence over
-// task errors; parent-context cancellation surfaces as the parent's
-// cause (context.Canceled or context.DeadlineExceeded).
+// finish) and is returned — even when that error is context.Canceled
+// itself, the recorded task error is what comes back, so callers can
+// always attribute the failure. Tasks receive the derived context so
+// nested blocking work (fault delays, IO) observes the cancellation
+// too. Worker panics still surface as *PanicError, taking precedence
+// over task errors; parent-context cancellation takes precedence over
+// everything except panics and surfaces as the parent's cause
+// (context.Canceled or context.DeadlineExceeded).
 func ForEachCtxErr(ctx context.Context, n, threads int, fn func(ctx context.Context, worker, task int) error) error {
 	cctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
+	// The first task error is recorded here, not recovered from
+	// context.Cause: a task may legitimately return context.Canceled
+	// (e.g. a stale deadline bubbled out of nested work), and the
+	// cause slot cannot distinguish that from a plain cancellation.
+	var errOnce sync.Once
+	var taskErr error
 	err := ForEachCtx(cctx, n, threads, func(worker, task int) {
 		if e := fn(cctx, worker, task); e != nil {
+			errOnce.Do(func() { taskErr = e })
 			cancel(e)
 		}
 	})
@@ -143,10 +214,18 @@ func ForEachCtxErr(ctx context.Context, n, threads int, fn func(ctx context.Cont
 	if errors.As(err, &pe) {
 		return err
 	}
-	// ForEachCtx reports bare cctx.Err(); the cause distinguishes a
-	// task error (recorded by cancel above) from parent cancellation.
-	if cause := context.Cause(cctx); cause != nil {
-		return cause
+	if ctx.Err() != nil {
+		// The parent was cancelled: its cause wins even if a task also
+		// errored while dispatch was winding down.
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+		return ctx.Err()
+	}
+	// taskErr was written before cancel(e) and the workers were joined
+	// before ForEachCtx returned, so this read is ordered.
+	if taskErr != nil {
+		return taskErr
 	}
 	return err
 }
@@ -179,28 +258,99 @@ type ScalingPoint struct {
 	Parallel float64 // efficiency = Speedup/Threads
 }
 
-// MeasureScaling runs work(threads) for each requested thread count and
-// reports the speedup curve. work must perform the same total job
-// regardless of the thread count.
+// MeasureScaling runs work(threads) once for each requested thread
+// count and reports the speedup curve. It is MeasureScalingReps with
+// reps=1; measurements feeding real figures should use reps >= 3 so
+// single-shot noise does not distort the curve.
 func MeasureScaling(threadCounts []int, work func(threads int)) []ScalingPoint {
+	return MeasureScalingReps(threadCounts, 1, work)
+}
+
+// MeasureScalingReps runs work(threads) reps times for each requested
+// thread count, takes the median elapsed time per count, and reports
+// the speedup curve. work must perform the same total job regardless
+// of the thread count.
+//
+// Speedup is relative to the Threads==1 point wherever it appears in
+// threadCounts; when no 1-thread point was measured, the smallest
+// thread count is the baseline (so the curve is still monotone-
+// comparable, just not anchored at 1.0). Efficiency divides by the
+// thread count, substituting GOMAXPROCS for non-positive counts —
+// that is how many workers a tc<=0 run actually uses.
+func MeasureScalingReps(threadCounts []int, reps int, work func(threads int)) []ScalingPoint {
+	if reps < 1 {
+		reps = 1
+	}
+	elapsed := make([]time.Duration, len(threadCounts))
+	runs := make([]time.Duration, reps)
+	for i, tc := range threadCounts {
+		for r := 0; r < reps; r++ {
+			runtime.GC() // stabilize allocator state between measurements
+			start := time.Now()
+			work(tc)
+			runs[r] = time.Since(start)
+		}
+		elapsed[i] = medianDuration(runs)
+	}
+	return scalingPoints(threadCounts, elapsed)
+}
+
+// scalingPoints derives the speedup curve from measured times. Split
+// from the timing loop so baseline selection is testable with
+// synthetic durations.
+func scalingPoints(threadCounts []int, elapsed []time.Duration) []ScalingPoint {
+	// Baseline: the Threads==1 measurement regardless of where it
+	// appears in the sweep order; fall back to the smallest positive
+	// count (then to the first point) when 1 was not measured.
+	baseIdx := -1
+	for i, tc := range threadCounts {
+		if tc == 1 {
+			baseIdx = i
+			break
+		}
+	}
+	if baseIdx < 0 {
+		for i, tc := range threadCounts {
+			if tc <= 0 {
+				continue
+			}
+			if baseIdx < 0 || tc < threadCounts[baseIdx] {
+				baseIdx = i
+			}
+		}
+	}
+	if baseIdx < 0 && len(threadCounts) > 0 {
+		baseIdx = 0
+	}
 	points := make([]ScalingPoint, 0, len(threadCounts))
-	var base time.Duration
-	for _, tc := range threadCounts {
-		runtime.GC() // stabilize allocator state between measurements
-		start := time.Now()
-		work(tc)
-		elapsed := time.Since(start)
-		if len(points) == 0 {
-			base = elapsed
+	for i, tc := range threadCounts {
+		p := ScalingPoint{Threads: tc, Elapsed: elapsed[i]}
+		if elapsed[i] > 0 {
+			p.Speedup = float64(elapsed[baseIdx]) / float64(elapsed[i])
 		}
-		p := ScalingPoint{Threads: tc, Elapsed: elapsed}
-		if elapsed > 0 {
-			p.Speedup = float64(base) / float64(elapsed)
+		den := tc
+		if den <= 0 {
+			den = runtime.GOMAXPROCS(0)
 		}
-		if tc > 0 {
-			p.Parallel = p.Speedup / float64(tc)
+		if den > 0 {
+			p.Parallel = p.Speedup / float64(den)
 		}
 		points = append(points, p)
 	}
 	return points
+}
+
+// medianDuration returns the median of ds (the mean of the two middle
+// values for even lengths). ds is not modified.
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
 }

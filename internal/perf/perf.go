@@ -42,10 +42,28 @@ func (c OpClass) String() string {
 	return opClassNames[c]
 }
 
+// CacheLineSize is the assumed coherence granularity. 64 bytes is
+// correct for every x86 and most arm64 parts; a wrong guess only
+// costs padding, never correctness.
+const CacheLineSize = 64
+
+// CacheLinePad is a full cache line of padding. Embed it (as a blank
+// field) at the end of per-worker accumulator structs stored in a
+// contiguous slice: it guarantees no two workers' hot fields share a
+// line, whatever the struct's size or the slice's base alignment.
+type CacheLinePad struct{ _ [CacheLineSize]byte }
+
 // Counters accumulates operation counts for one execution context.
 // The zero value is ready to use.
+//
+// The struct is padded so its size is a multiple of the cache line:
+// multi-threaded kernels keep one Counters per worker in a contiguous
+// slice, and without the padding adjacent workers' uint64 increments
+// false-share cache lines, quietly inflating multi-threaded op-mix
+// timings (see BenchmarkWorkerShardsPadded for the measured effect).
 type Counters struct {
 	Ops [numOpClasses]uint64
+	_   [CacheLineSize - (numOpClasses*8)%CacheLineSize]byte
 }
 
 // Add increments a class by n.

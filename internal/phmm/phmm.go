@@ -222,6 +222,7 @@ func RunKernelCtx(ctx context.Context, regions []*Region, threads int) (KernelRe
 		cells     uint64
 		fallbacks int
 		stats     *perf.TaskStats
+		_         perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]ws, threads)
 	for i := range workers {

@@ -162,6 +162,7 @@ func RunKernelCtx(ctx context.Context, regions []*Region, threads int) (KernelRe
 		positions uint64
 		depth     uint64
 		stats     *perf.TaskStats
+		_         perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]ws, threads)
 	for i := range workers {

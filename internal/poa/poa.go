@@ -487,6 +487,7 @@ func RunKernelCtx(ctx context.Context, windows []*Window, p Params, threads int)
 	type ws struct {
 		cells uint64
 		stats *perf.TaskStats
+		_     perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]ws, threads)
 	for i := range workers {

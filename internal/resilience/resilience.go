@@ -21,6 +21,8 @@ import (
 	"runtime/debug"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Policy bounds one kernel execution.
@@ -103,42 +105,71 @@ type panicker interface {
 // backoff with seeded jitter) up to p.Attempts times. Cancellation of
 // the parent ctx stops everything immediately — a cancelled run is
 // not retried. The returned error is nil or a *KernelError.
+//
+// Each attempt's timeout context is cancelled (releasing its timer and
+// watcher goroutine) before the backoff sleep and the next attempt
+// begin — never deferred to function exit, where a long retry schedule
+// would accumulate one leaked cancel per attempt. attempt() below
+// makes that structural via its deferred cancel.
+//
+// When an obs.Observer is installed in ctx, Run counts attempts,
+// retries, timeouts and recovered panics per kernel (metric names
+// resilience.attempts / .retries / .timeouts / .panics).
 func Run(ctx context.Context, kernel string, p Policy, fn func(ctx context.Context) error) error {
 	attempts := p.Attempts
 	if attempts < 1 {
 		attempts = 1
 	}
+	o := obs.From(ctx)
 	rng := rand.New(rand.NewSource(p.JitterSeed ^ int64(hashString(kernel))))
-	var last *KernelError
-	for attempt := 1; attempt <= attempts; attempt++ {
-		if err := ctx.Err(); err != nil {
-			// Parent cancelled before this attempt started.
-			if last == nil {
-				return &KernelError{Kernel: kernel, Attempts: attempt - 1, Err: err}
-			}
-			return last
-		}
+
+	// attempt runs fn once under a fresh per-attempt deadline; the
+	// deferred cancel fires when the attempt returns, before any
+	// backoff or subsequent attempt.
+	attempt := func() (ke *KernelError, timedOut bool) {
 		actx := ctx
 		cancel := func() {}
 		if p.Timeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, p.Timeout)
 		}
-		ke := runAttempt(actx, fn)
-		timedOut := actx.Err() == context.DeadlineExceeded && ctx.Err() == nil
-		cancel()
+		defer cancel()
+		ke = runAttempt(actx, fn)
+		return ke, actx.Err() == context.DeadlineExceeded && ctx.Err() == nil
+	}
+
+	var last *KernelError
+	for n := 1; n <= attempts; n++ {
+		if err := ctx.Err(); err != nil {
+			// Parent cancelled before this attempt started.
+			if last == nil {
+				return &KernelError{Kernel: kernel, Attempts: n - 1, Err: err}
+			}
+			return last
+		}
+		o.Counter("resilience.attempts", kernel).Inc()
+		if n > 1 {
+			o.Counter("resilience.retries", kernel).Inc()
+		}
+		ke, timedOut := attempt()
 		if ke == nil {
 			return nil
 		}
 		ke.Kernel = kernel
-		ke.Attempts = attempt
+		ke.Attempts = n
 		ke.TimedOut = timedOut
+		if timedOut {
+			o.Counter("resilience.timeouts", kernel).Inc()
+		}
+		if ke.Panicked {
+			o.Counter("resilience.panics", kernel).Inc()
+		}
 		last = ke
 		if ctx.Err() != nil {
 			// Parent cancelled during the attempt: report, don't retry.
 			return last
 		}
-		if attempt < attempts {
-			if err := sleep(ctx, p, backoff(p, attempt, rng)); err != nil {
+		if n < attempts {
+			if err := sleep(ctx, p, backoff(p, n, rng)); err != nil {
 				return last
 			}
 		}
