@@ -1,0 +1,395 @@
+// Command gbench-bench is the benchmark-regression harness: it runs
+// the before/after microbenchmark pair for each optimized kernel
+// in-process (scalar vs bit-parallel, allocating vs pooled), emits the
+// results as a stable JSON report (BENCH_PR3.json schema, see
+// internal/benchjson), and can diff two such reports with a tolerance
+// for CI gating.
+//
+// Usage:
+//
+//	gbench-bench -o BENCH_PR3.json                 # full run, ~1s per variant
+//	gbench-bench -benchtime 1x -o now.json         # CI smoke: one iteration each
+//	gbench-bench -kernels bsw,phmm                 # subset, report to stdout
+//	gbench-bench -compare -tolerance 10 BENCH_PR3.json now.json
+//
+// In -compare mode the exit status is 1 when any baseline pair is
+// missing from the current report or its optimized variant slowed down
+// by more than the tolerance factor.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/abea"
+	"repro/internal/benchjson"
+	"repro/internal/bsw"
+	"repro/internal/dbg"
+	"repro/internal/fmindex"
+	"repro/internal/genome"
+	"repro/internal/kmercnt"
+	"repro/internal/phmm"
+	"repro/internal/poa"
+	"repro/internal/scratch"
+	"repro/internal/seq2"
+	"repro/internal/signalsim"
+)
+
+// pairSpec is one kernel's before/after benchmark pair. Inputs are
+// built once (deterministic seeds) and shared by both variants so the
+// two measurements cover identical work.
+type pairSpec struct {
+	kernel, pair  string
+	baselineName  string
+	optimizedName string
+	baseline      func(b *testing.B)
+	optimized     func(b *testing.B)
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "", "write the report JSON to this file (default stdout)")
+		benchtime = flag.String("benchtime", "", `benchmark duration per variant, e.g. "1x" or "200ms" (default 1s)`)
+		kernels   = flag.String("kernels", "", "comma-separated kernel filter (default all)")
+		compare   = flag.Bool("compare", false, "compare two report files: gbench-bench -compare baseline.json current.json")
+		tolerance = flag.Float64("tolerance", 1.25, "allowed slowdown factor on optimized paths in -compare mode")
+	)
+	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *tolerance))
+	}
+
+	// Register the testing flags so the in-process benchmarks honor
+	// -benchtime; everything else stays at its default.
+	testing.Init()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "gbench-bench: bad -benchtime %q: %v\n", *benchtime, err)
+			os.Exit(2)
+		}
+	}
+
+	want := map[string]bool{}
+	for _, k := range strings.Split(*kernels, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			want[k] = true
+		}
+	}
+
+	report := benchjson.New()
+	for _, spec := range allPairs() {
+		if len(want) > 0 && !want[spec.kernel] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "bench %s/%s\n", spec.kernel, spec.pair)
+		base := testing.Benchmark(spec.baseline)
+		opt := testing.Benchmark(spec.optimized)
+		report.Add(spec.kernel, spec.pair,
+			metricsOf(spec.baselineName, base),
+			metricsOf(spec.optimizedName, opt))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbench-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := benchjson.Write(w, report); err != nil {
+		fmt.Fprintf(os.Stderr, "gbench-bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, e := range report.Entries {
+		fmt.Fprintf(os.Stderr, "  %-16s %9.0f ns/op -> %9.0f ns/op  (%.2fx, allocs %d -> %d)\n",
+			e.Kernel+"/"+e.Pair, e.Baseline.NsPerOp, e.Optimized.NsPerOp,
+			e.Speedup, e.Baseline.AllocsPerOp, e.Optimized.AllocsPerOp)
+	}
+}
+
+func runCompare(paths []string, tolerance float64) int {
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "gbench-bench: -compare needs exactly two report files")
+		return 2
+	}
+	read := func(p string) *benchjson.Report {
+		f, err := os.Open(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbench-bench: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r, err := benchjson.Read(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbench-bench: %s: %v\n", p, err)
+			os.Exit(2)
+		}
+		return r
+	}
+	baseline, current := read(paths[0]), read(paths[1])
+	regs := benchjson.Compare(baseline, current, tolerance)
+	if len(regs) == 0 {
+		fmt.Printf("OK: %d pairs within %.2fx of baseline\n", len(baseline.Entries), tolerance)
+		return 0
+	}
+	for _, g := range regs {
+		fmt.Printf("REGRESSION %s\n", g)
+	}
+	return 1
+}
+
+func metricsOf(name string, r testing.BenchmarkResult) benchjson.Metrics {
+	return benchjson.Metrics{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// allPairs builds every kernel's before/after pair. Workloads mirror
+// the BenchmarkXxx pairs in each kernel's opt_test.go: realistic sizes,
+// deterministic seeds.
+func allPairs() []pairSpec {
+	return []pairSpec{
+		bswPair(), phmmPair(), kmercntPair(), fmindexPair(),
+		poaPair(), abeaPair(), dbgPair(),
+	}
+}
+
+func bswPair() pairSpec {
+	rng := rand.New(rand.NewSource(1234))
+	pairs := make([]bsw.Pair, 64)
+	for i := range pairs {
+		n := 80 + rng.Intn(120)
+		q := genome.Random(rng, n)
+		t := q.Clone()
+		for k := 0; k < 8; k++ {
+			t[rng.Intn(len(t))] = genome.Base(rng.Intn(4))
+		}
+		pairs[i] = bsw.Pair{Query: q, Target: t}
+	}
+	p := bsw.DefaultParams()
+	return pairSpec{
+		kernel: "bsw", pair: "align",
+		baselineName: "bsw/align/scalar", optimizedName: "bsw/align/packed",
+		baseline: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pr := pairs[i%len(pairs)]
+				bsw.Align(pr.Query, pr.Target, p)
+			}
+		},
+		optimized: func(b *testing.B) {
+			b.ReportAllocs()
+			arena := scratch.New()
+			for i := 0; i < b.N; i++ {
+				pr := pairs[i%len(pairs)]
+				bsw.AlignInto(pr.Query, pr.Target, p, arena)
+			}
+		},
+	}
+}
+
+func phmmPair() pairSpec {
+	rng := rand.New(rand.NewSource(14))
+	rg := &phmm.Region{}
+	for h := 0; h < 4; h++ {
+		rg.Haps = append(rg.Haps, genome.Random(rng, 100+rng.Intn(100)))
+	}
+	for r := 0; r < 8; r++ {
+		m := 10 + rng.Intn(150)
+		read := genome.Random(rng, m)
+		qual := make([]byte, m)
+		for i := range qual {
+			qual[i] = byte(10 + rng.Intn(40))
+		}
+		rg.Reads = append(rg.Reads, read)
+		rg.Quals = append(rg.Quals, qual)
+	}
+	return pairSpec{
+		kernel: "phmm", pair: "region",
+		baselineName: "phmm/region/alloc", optimizedName: "phmm/region/pooled",
+		baseline: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				phmm.EvaluateRegion(rg)
+			}
+		},
+		optimized: func(b *testing.B) {
+			b.ReportAllocs()
+			s := phmm.NewScratch()
+			for i := 0; i < b.N; i++ {
+				phmm.EvaluateRegionInto(rg, s)
+			}
+		},
+	}
+}
+
+func kmercntPair() pairSpec {
+	rng := rand.New(rand.NewSource(22))
+	const k = 17
+	reads := make([]genome.Seq, 32)
+	for i := range reads {
+		reads[i] = genome.Random(rng, 1000)
+	}
+	return pairSpec{
+		kernel: "kmercnt", pair: "count",
+		baselineName: "kmercnt/count/scalar", optimizedName: "kmercnt/count/packed",
+		baseline: func(b *testing.B) {
+			b.ReportAllocs()
+			tb := kmercnt.NewTable(1<<16, kmercnt.Linear)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kmercnt.CountSeq(tb, reads[i%len(reads)], k)
+			}
+		},
+		optimized: func(b *testing.B) {
+			b.ReportAllocs()
+			tb := kmercnt.NewTable(1<<16, kmercnt.Linear)
+			var buf []uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := seq2.PackInto(buf, reads[i%len(reads)])
+				buf = p.WordsSlice()
+				kmercnt.CountSeqPacked(tb, p, k)
+			}
+		},
+	}
+}
+
+func fmindexPair() pairSpec {
+	rng := rand.New(rand.NewSource(35))
+	g := genome.Random(rng, 1<<16)
+	x := fmindex.Build(g)
+	positions := make([]int, 1024)
+	for i := range positions {
+		positions[i] = rng.Intn(x.TextLen() + 1)
+	}
+	return pairSpec{
+		kernel: "fmindex", pair: "occ4",
+		baselineName: "fmindex/occ4/scalar", optimizedName: "fmindex/occ4/packed",
+		baseline: func(b *testing.B) {
+			var sink int32
+			for i := 0; i < b.N; i++ {
+				c := x.Occ4Reference(positions[i%len(positions)])
+				sink += c[0]
+			}
+			_ = sink
+		},
+		optimized: func(b *testing.B) {
+			var sink int32
+			for i := 0; i < b.N; i++ {
+				c := x.Occ4(positions[i%len(positions)])
+				sink += c[0]
+			}
+			_ = sink
+		},
+	}
+}
+
+func poaPair() pairSpec {
+	rng := rand.New(rand.NewSource(44))
+	windows := make([]*poa.Window, 8)
+	for i := range windows {
+		base := genome.Random(rng, 50+rng.Intn(150))
+		w := &poa.Window{}
+		for s := 0; s < 3+rng.Intn(5); s++ {
+			seq := base.Clone()
+			for k := 0; k < len(seq)/15+1; k++ {
+				seq[rng.Intn(len(seq))] = genome.Base(rng.Intn(4))
+			}
+			w.Sequences = append(w.Sequences, seq)
+		}
+		windows[i] = w
+	}
+	p := poa.DefaultParams()
+	return pairSpec{
+		kernel: "poa", pair: "consensus",
+		baselineName: "poa/consensus/fresh", optimizedName: "poa/consensus/pooled",
+		baseline: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				poa.ConsensusOf(windows[i%len(windows)], p)
+			}
+		},
+		optimized: func(b *testing.B) {
+			b.ReportAllocs()
+			g := poa.New()
+			for i := 0; i < b.N; i++ {
+				poa.ConsensusInto(windows[i%len(windows)], p, g)
+			}
+		},
+	}
+}
+
+func abeaPair() pairSpec {
+	rng := rand.New(rand.NewSource(53))
+	model := signalsim.NewPoreModel()
+	seq := genome.Random(rng, 150)
+	events := signalsim.Simulate(rng, model, seq, signalsim.DefaultConfig())
+	cfg := abea.DefaultConfig()
+	return pairSpec{
+		kernel: "abea", pair: "align",
+		baselineName: "abea/align/alloc", optimizedName: "abea/align/pooled",
+		baseline: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				abea.AlignInto(model, seq, events, cfg, nil)
+			}
+		},
+		optimized: func(b *testing.B) {
+			b.ReportAllocs()
+			arena := scratch.New()
+			for i := 0; i < b.N; i++ {
+				abea.AlignInto(model, seq, events, cfg, arena)
+			}
+		},
+	}
+}
+
+func dbgPair() pairSpec {
+	rng := rand.New(rand.NewSource(63))
+	regions := make([]*dbg.Region, 8)
+	for i := range regions {
+		ref := genome.Random(rng, 80+rng.Intn(200))
+		rg := &dbg.Region{Ref: ref}
+		for r := 0; r < 5+rng.Intn(10); r++ {
+			lo := rng.Intn(len(ref) / 2)
+			hi := lo + 30 + rng.Intn(len(ref)-lo-30)
+			read := ref[lo:hi].Clone()
+			for m := 0; m < len(read)/25+1; m++ {
+				read[rng.Intn(len(read))] = genome.Base(rng.Intn(4))
+			}
+			rg.Reads = append(rg.Reads, read)
+		}
+		regions[i] = rg
+	}
+	cfg := dbg.DefaultConfig()
+	return pairSpec{
+		kernel: "dbg", pair: "assemble",
+		baselineName: "dbg/assemble/fresh", optimizedName: "dbg/assemble/pooled",
+		baseline: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dbg.AssembleRegion(regions[i%len(regions)], cfg)
+			}
+		},
+		optimized: func(b *testing.B) {
+			b.ReportAllocs()
+			a := dbg.NewAssembler()
+			for i := 0; i < b.N; i++ {
+				a.AssembleRegion(regions[i%len(regions)], cfg)
+			}
+		},
+	}
+}

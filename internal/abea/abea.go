@@ -17,6 +17,7 @@ import (
 	"repro/internal/genome"
 	"repro/internal/parallel"
 	"repro/internal/perf"
+	"repro/internal/scratch"
 	"repro/internal/signalsim"
 )
 
@@ -107,6 +108,19 @@ type bandPos struct{ e, k int }
 // moves right when the running maximum sits in the lower (k-poor) half
 // and down otherwise, so it tracks the alignment path.
 func Align(model *signalsim.PoreModel, seq genome.Seq, events []signalsim.Event, cfg Config) Result {
+	return AlignInto(model, seq, events, cfg, nil)
+}
+
+// AlignInto is Align computing into a's reusable band buffers, so a
+// worker looping over reads with one arena aligns with zero
+// steady-state heap allocations. A nil a allocates a temporary arena.
+// Each call Resets a: the arena must not hold live buffers from other
+// kernels. Results are bit-identical to Align.
+func AlignInto(model *signalsim.PoreModel, seq genome.Seq, events []signalsim.Event, cfg Config, a *scratch.Arena) Result {
+	if a == nil {
+		a = scratch.New()
+	}
+	a.Reset()
 	W := cfg.BandWidth
 	if W < 4 {
 		W = 4
@@ -119,28 +133,33 @@ func Align(model *signalsim.PoreModel, seq genome.Seq, events []signalsim.Event,
 		return res
 	}
 	nBands := ne + nk + 1
-	prev := make([]float32, W)  // band i-1
-	prev2 := make([]float32, W) // band i-2
-	cur := make([]float32, W)
+	prev := a.Float32s(W)  // band i-1
+	prev2 := a.Float32s(W) // band i-2
+	cur := a.Float32s(W)
 	for o := 0; o < W; o++ {
 		prev[o], prev2[o] = negInf, negInf
 	}
 	// Band geometry: cell o of a band at lower-left (e0,k0) is
 	// (e0-o, k0+o). Band 0 holds the origin (-1,-1) at offset W/2.
-	ll := make([]bandPos, nBands)
-	ll[0] = bandPos{e: -1 + W/2, k: -1 - W/2}
+	// The lower-left positions are split into parallel e/k arrays so
+	// they come out of the arena's int pool.
+	lle := a.Ints(nBands)
+	llk := a.Ints(nBands)
+	lle[0], llk[0] = -1+W/2, -1-W/2
 	prev2[W/2] = 0 // origin in band 0 (treated as band i-2 for band 2)
 
 	// Band 1: moved down from band 0 by convention (origin at W/2 sees
 	// its successors).
-	ll[1] = bandPos{e: ll[0].e + 1, k: ll[0].k}
+	lle[1], llk[1] = lle[0]+1, llk[0]
 
 	// Scores for band 1 computed in the main loop; seed prev with band
 	// 0 (only origin valid) and compute from band 1 on.
 	copy(cur, prev2)
 	prev, prev2 = cur, prev
 	// After the swap: prev = band 0 scores, prev2 = all -inf (band -1).
-	cur = make([]float32, W)
+	// Every cell of the new cur band is written before it is read, so
+	// the arena buffer needs no clearing.
+	cur = a.Float32s(W)
 
 	bestFinal := negInf
 	foundFinal := false
@@ -154,16 +173,16 @@ func Align(model *signalsim.PoreModel, seq genome.Seq, events []signalsim.Event,
 		// path is event-rich, so advance the event axis (move down).
 		if i >= 2 {
 			if maxOffsetPrev >= W/2 {
-				ll[i] = bandPos{e: ll[i-1].e, k: ll[i-1].k + 1}
+				lle[i], llk[i] = lle[i-1], llk[i-1]+1
 			} else {
-				ll[i] = bandPos{e: ll[i-1].e + 1, k: ll[i-1].k}
+				lle[i], llk[i] = lle[i-1]+1, llk[i-1]
 			}
 		}
 		rowMax := negInf
 		rowArg := 0
 		for o := 0; o < W; o++ {
-			e := ll[i].e - o
-			k := ll[i].k + o
+			e := lle[i] - o
+			k := llk[i] + o
 			if e < -1 || k < -1 || e >= ne || k >= nk || (e == -1 && k == -1) {
 				cur[o] = negInf
 				continue
@@ -187,14 +206,14 @@ func Align(model *signalsim.PoreModel, seq genome.Seq, events []signalsim.Event,
 			// the diagonal (e-1,k-1) is in band i-2; only the offsets
 			// differ by band placement.
 			var up, left, diag float32 = negInf, negInf, negInf
-			if o2 := ll[i-1].e - (e - 1); o2 >= 0 && o2 < W {
+			if o2 := lle[i-1] - (e - 1); o2 >= 0 && o2 < W {
 				up = prev[o2]
 			}
-			if o2 := ll[i-1].e - e; o2 >= 0 && o2 < W {
+			if o2 := lle[i-1] - e; o2 >= 0 && o2 < W {
 				left = prev[o2]
 			}
 			if i >= 2 {
-				if o3 := ll[i-2].e - (e - 1); o3 >= 0 && o3 < W {
+				if o3 := lle[i-2] - (e - 1); o3 >= 0 && o3 < W {
 					diag = prev2[o3]
 				}
 			}
@@ -259,17 +278,19 @@ func RunKernelCtx(ctx context.Context, model *signalsim.PoreModel, reads []signa
 		cells uint64
 		oob   int
 		stats *perf.TaskStats
+		arena *scratch.Arena
 		_     perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]ws, threads)
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("cell updates")
+		workers[i].arena = scratch.New()
 	}
 	err := parallel.ForEachCtxErr(ctx, len(reads), threads, func(tctx context.Context, w, i int) error {
 		if err := faultinject.Point(tctx); err != nil {
 			return err
 		}
-		r := Align(model, reads[i].Seq, reads[i].Events, cfg)
+		r := AlignInto(model, reads[i].Seq, reads[i].Events, cfg, workers[w].arena)
 		workers[w].cells += r.CellUpdates
 		if r.OutOfBand {
 			workers[w].oob++

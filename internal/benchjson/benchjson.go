@@ -1,0 +1,127 @@
+// Package benchjson defines the stable JSON schema the gbench-bench
+// harness emits (BENCH_PR3.json) and the tolerance-based comparison
+// used for CI regression gating. Each entry pairs a baseline variant
+// (scalar / allocating) with its optimized counterpart (bit-parallel /
+// pooled) for one kernel, so the file documents both absolute cost and
+// the speedup the optimization is expected to hold.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Schema identifies the report format; bump on breaking changes.
+const Schema = "gbench-bench/v1"
+
+// Metrics are one benchmark variant's measured costs.
+type Metrics struct {
+	Name        string  `json:"name"`          // benchmark name, e.g. "bsw/align/scalar"
+	NsPerOp     float64 `json:"ns_per_op"`     // wall time per operation
+	AllocsPerOp int64   `json:"allocs_per_op"` // heap allocations per operation
+	BytesPerOp  int64   `json:"bytes_per_op"`  // heap bytes per operation
+	Iterations  int     `json:"iterations"`    // b.N the measurement ran for
+}
+
+// Entry is one before/after benchmark pair.
+type Entry struct {
+	Kernel    string  `json:"kernel"` // e.g. "bsw"
+	Pair      string  `json:"pair"`   // e.g. "align"
+	Baseline  Metrics `json:"baseline"`
+	Optimized Metrics `json:"optimized"`
+	Speedup   float64 `json:"speedup"` // baseline ns / optimized ns
+}
+
+// Report is the top-level BENCH_PR3.json document.
+type Report struct {
+	Schema  string  `json:"schema"`
+	Entries []Entry `json:"entries"`
+}
+
+// New returns an empty report with the current schema stamp.
+func New() *Report { return &Report{Schema: Schema} }
+
+// Add appends a pair, computing its speedup.
+func (r *Report) Add(kernel, pair string, baseline, optimized Metrics) {
+	e := Entry{Kernel: kernel, Pair: pair, Baseline: baseline, Optimized: optimized}
+	if optimized.NsPerOp > 0 {
+		e.Speedup = baseline.NsPerOp / optimized.NsPerOp
+	}
+	r.Entries = append(r.Entries, e)
+}
+
+// Find returns the entry for (kernel, pair), or nil.
+func (r *Report) Find(kernel, pair string) *Entry {
+	for i := range r.Entries {
+		if r.Entries[i].Kernel == kernel && r.Entries[i].Pair == pair {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Write emits the report as indented JSON with entries in stable
+// (kernel, pair) order, so committed baselines diff cleanly.
+func Write(w io.Writer, r *Report) error {
+	sort.SliceStable(r.Entries, func(i, j int) bool {
+		if r.Entries[i].Kernel != r.Entries[j].Kernel {
+			return r.Entries[i].Kernel < r.Entries[j].Kernel
+		}
+		return r.Entries[i].Pair < r.Entries[j].Pair
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Read parses and validates a report.
+func Read(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchjson: parse: %w", err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("benchjson: schema %q, want %q", r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// Regression is one comparison failure.
+type Regression struct {
+	Kernel string
+	Pair   string
+	Reason string
+}
+
+func (g Regression) String() string {
+	return fmt.Sprintf("%s/%s: %s", g.Kernel, g.Pair, g.Reason)
+}
+
+// Compare checks current against baseline: every baseline pair must
+// still exist, and its optimized variant must not have slowed down by
+// more than the tolerance factor (tolerance 1.25 allows 25% slowdown;
+// CI smoke runs use a generous factor because single-iteration timings
+// are noisy). Returns the list of regressions, empty when clean.
+func Compare(baseline, current *Report, tolerance float64) []Regression {
+	if tolerance < 1 {
+		tolerance = 1
+	}
+	var regs []Regression
+	for i := range baseline.Entries {
+		be := &baseline.Entries[i]
+		ce := current.Find(be.Kernel, be.Pair)
+		if ce == nil {
+			regs = append(regs, Regression{be.Kernel, be.Pair, "pair missing from current report"})
+			continue
+		}
+		if be.Optimized.NsPerOp > 0 && ce.Optimized.NsPerOp > be.Optimized.NsPerOp*tolerance {
+			regs = append(regs, Regression{be.Kernel, be.Pair, fmt.Sprintf(
+				"optimized path slowed %.0fns -> %.0fns/op (tolerance %.2fx)",
+				be.Optimized.NsPerOp, ce.Optimized.NsPerOp, tolerance)})
+		}
+	}
+	return regs
+}

@@ -1,0 +1,106 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Report {
+	r := New()
+	r.Add("bsw", "align",
+		Metrics{Name: "bsw/align/scalar", NsPerOp: 110000, AllocsPerOp: 2, Iterations: 100},
+		Metrics{Name: "bsw/align/packed", NsPerOp: 62000, AllocsPerOp: 0, Iterations: 100})
+	r.Add("phmm", "region",
+		Metrics{Name: "phmm/region/alloc", NsPerOp: 500000, AllocsPerOp: 338, Iterations: 50},
+		Metrics{Name: "phmm/region/pooled", NsPerOp: 480000, AllocsPerOp: 0, Iterations: 50})
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Entries) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	e := got.Find("bsw", "align")
+	if e == nil || e.Optimized.NsPerOp != 62000 || e.Baseline.AllocsPerOp != 2 {
+		t.Fatalf("entry mangled: %+v", e)
+	}
+	if e.Speedup < 1.7 || e.Speedup > 1.8 {
+		t.Fatalf("speedup = %v, want ~1.77", e.Speedup)
+	}
+}
+
+func TestReadRejectsWrongSchema(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"schema":"other/v9","entries":[]}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := Read(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestWriteStableOrder(t *testing.T) {
+	r := New()
+	r.Add("poa", "consensus", Metrics{NsPerOp: 1}, Metrics{NsPerOp: 1})
+	r.Add("abea", "align", Metrics{NsPerOp: 1}, Metrics{NsPerOp: 1})
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Index(s, `"abea"`) > strings.Index(s, `"poa"`) {
+		t.Fatalf("entries not sorted by kernel:\n%s", s)
+	}
+}
+
+func TestCompareClean(t *testing.T) {
+	base := sample()
+	cur := sample()
+	// Slightly slower, within tolerance.
+	cur.Find("bsw", "align").Optimized.NsPerOp = 70000
+	if regs := Compare(base, cur, 1.25); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareFlagsSlowdown(t *testing.T) {
+	base := sample()
+	cur := sample()
+	cur.Find("bsw", "align").Optimized.NsPerOp = 200000 // > 1.25x of 62000
+	regs := Compare(base, cur, 1.25)
+	if len(regs) != 1 || regs[0].Kernel != "bsw" || regs[0].Pair != "align" {
+		t.Fatalf("regressions = %v", regs)
+	}
+	// The same slowdown passes under a generous CI-smoke tolerance.
+	if regs := Compare(base, cur, 10); len(regs) != 0 {
+		t.Fatalf("generous tolerance still flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsMissingPair(t *testing.T) {
+	base := sample()
+	cur := New()
+	cur.Entries = append(cur.Entries, base.Entries[0])
+	regs := Compare(base, cur, 10)
+	if len(regs) != 1 || !strings.Contains(regs[0].String(), "missing") {
+		t.Fatalf("regressions = %v", regs)
+	}
+}
+
+func TestCompareClampsTolerance(t *testing.T) {
+	base := sample()
+	cur := sample()
+	// tolerance < 1 is clamped to 1: equal timings must still pass.
+	if regs := Compare(base, cur, 0.5); len(regs) != 0 {
+		t.Fatalf("clamped tolerance flagged equal reports: %v", regs)
+	}
+}

@@ -44,34 +44,74 @@ type node struct {
 	refOut int8 // reference out-edge base, -1 if none
 }
 
-// graph is a De-Bruijn graph keyed by packed k-mer code.
+// graph is a De-Bruijn graph keyed by packed k-mer code. Node payloads
+// live in a contiguous slab indexed through the hash map, so a reset
+// graph keeps both the slab and the map's buckets: steady-state
+// assembly over same-sized regions stops allocating node storage.
 type graph struct {
 	k     int
 	mask  uint64
-	nodes map[uint64]*node
+	index map[uint64]int32 // k-mer code -> slab position
+	slab  []node
 
 	lookups uint64 // hash-table lookups (Table III unit)
 	edges   int
+
+	// Reusable traversal storage (cycle DFS and path enumeration).
+	color   map[uint64]uint8
+	stack   []frame
+	pathBuf genome.Seq
+}
+
+// frame is one iterative-DFS stack entry.
+type frame struct {
+	code uint64
+	next int
 }
 
 func newGraph(k int) *graph {
-	return &graph{
-		k:     k,
-		mask:  uint64(1)<<(2*uint(k)) - 1,
-		nodes: make(map[uint64]*node),
+	g := &graph{}
+	g.reset(k)
+	return g
+}
+
+// reset clears the graph for a new build at k-mer size k, retaining
+// the node slab, map buckets, and traversal buffers.
+func (g *graph) reset(k int) {
+	g.k = k
+	g.mask = uint64(1)<<(2*uint(k)) - 1
+	g.slab = g.slab[:0]
+	if g.index == nil {
+		g.index = make(map[uint64]int32)
+	} else {
+		clear(g.index)
 	}
+	g.lookups = 0
+	g.edges = 0
 }
 
 // getNode fetches or creates the node for a k-mer code, counting the
-// hash lookup either way.
+// hash lookup either way. The returned pointer is valid until the next
+// getNode call (the slab may move when it grows).
 func (g *graph) getNode(code uint64) *node {
 	g.lookups++
-	nd, ok := g.nodes[code]
-	if !ok {
-		nd = &node{refOut: -1}
-		g.nodes[code] = nd
+	if idx, ok := g.index[code]; ok {
+		return &g.slab[idx]
 	}
-	return nd
+	g.index[code] = int32(len(g.slab))
+	g.slab = append(g.slab, node{refOut: -1})
+	return &g.slab[len(g.slab)-1]
+}
+
+// node looks up an existing node, counting the hash lookup. The same
+// pointer-validity rule as getNode applies.
+func (g *graph) node(code uint64) (*node, bool) {
+	g.lookups++
+	idx, ok := g.index[code]
+	if !ok {
+		return nil, false
+	}
+	return &g.slab[idx], true
 }
 
 // addSeq threads a sequence through the graph, incrementing edge
@@ -104,17 +144,18 @@ func (g *graph) hasCycleFrom(start uint64, minWeight int32) bool {
 		gray  = 1
 		black = 2
 	)
-	color := make(map[uint64]uint8, len(g.nodes))
-	type frame struct {
-		code uint64
-		next int
+	if g.color == nil {
+		g.color = make(map[uint64]uint8, len(g.slab))
+	} else {
+		clear(g.color)
 	}
-	stack := []frame{{start, 0}}
+	color := g.color
+	stack := append(g.stack[:0], frame{start, 0})
+	defer func() { g.stack = stack[:0] }()
 	color[start] = gray
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
-		nd, ok := g.nodes[f.code]
-		g.lookups++
+		nd, ok := g.node(f.code)
 		if !ok {
 			color[f.code] = black
 			stack = stack[:len(stack)-1]
@@ -161,7 +202,12 @@ func (g *graph) enumerate(ref genome.Seq, cfg Config) []genome.Seq {
 	sink := genome.KmerCode(ref, len(ref)-g.k, g.k)
 
 	var haps []genome.Seq
-	prefix := ref[:g.k].Clone()
+	// Pre-size the path buffer to the enumeration cap so the recursive
+	// appends below never reallocate; emitted haplotypes are cloned out.
+	if need := cfg.MaxPathLen + g.k + 2; cap(g.pathBuf) < need {
+		g.pathBuf = make(genome.Seq, 0, need)
+	}
+	prefix := append(g.pathBuf[:0], ref[:g.k]...)
 
 	var walk func(code uint64, path genome.Seq)
 	walk = func(code uint64, path genome.Seq) {
@@ -174,8 +220,7 @@ func (g *graph) enumerate(ref genome.Seq, cfg Config) []genome.Seq {
 			// k-mer) but Platypus stops haplotypes at the window end.
 			return
 		}
-		nd, ok := g.nodes[code]
-		g.lookups++
+		nd, ok := g.node(code)
 		if !ok {
 			return
 		}
@@ -204,16 +249,34 @@ type Result struct {
 	CycleRetries int
 }
 
+// Assembler owns reusable De-Bruijn graph storage. One Assembler per
+// worker: a worker looping over regions rebuilds into the same node
+// slab, hash buckets, and traversal buffers instead of reallocating
+// them per region. Not safe for concurrent use. Results are identical
+// to the package-level AssembleRegion, including HashLookups.
+type Assembler struct {
+	g graph
+}
+
+// NewAssembler returns an empty Assembler; storage grows on first use.
+func NewAssembler() *Assembler { return &Assembler{} }
+
 // AssembleRegion builds the De-Bruijn graph for a region, escalating k
 // until the graph is acyclic (or MaxK is reached), then enumerates
 // candidate haplotypes.
 func AssembleRegion(rg *Region, cfg Config) Result {
+	return NewAssembler().AssembleRegion(rg, cfg)
+}
+
+// AssembleRegion assembles one region reusing a's graph storage.
+func (a *Assembler) AssembleRegion(rg *Region, cfg Config) Result {
 	var res Result
+	g := &a.g
 	for k := cfg.K; k <= cfg.MaxK; k += cfg.KStep {
 		if len(rg.Ref) <= k {
 			break
 		}
-		g := newGraph(k)
+		g.reset(k)
 		g.addSeq(rg.Ref, true)
 		for _, r := range rg.Reads {
 			g.addSeq(r, false)
@@ -226,7 +289,7 @@ func AssembleRegion(rg *Region, cfg Config) Result {
 			continue
 		}
 		res.K = k
-		res.Nodes = len(g.nodes)
+		res.Nodes = len(g.slab)
 		res.Edges = g.edges
 		g.lookups = 0
 		res.Haplotypes = g.enumerate(rg.Ref, cfg)
@@ -267,21 +330,23 @@ func RunKernelCtx(ctx context.Context, regions []*Region, cfg Config, threads in
 		threads = 1
 	}
 	type ws struct {
-		haps    int
-		lookups uint64
-		retries int
-		stats   *perf.TaskStats
-		_       perf.CacheLinePad // workers update these per task; keep shards on private cache lines
+		haps      int
+		lookups   uint64
+		retries   int
+		stats     *perf.TaskStats
+		assembler *Assembler
+		_         perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]ws, threads)
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("hash lookups")
+		workers[i].assembler = NewAssembler()
 	}
 	err := parallel.ForEachCtxErr(ctx, len(regions), threads, func(tctx context.Context, w, i int) error {
 		if err := faultinject.Point(tctx); err != nil {
 			return err
 		}
-		r := AssembleRegion(regions[i], cfg)
+		r := workers[w].assembler.AssembleRegion(regions[i], cfg)
 		workers[w].haps += len(r.Haplotypes)
 		workers[w].lookups += r.HashLookups
 		workers[w].retries += r.CycleRetries

@@ -75,8 +75,7 @@ func pathSupport(g *graph, hap genome.Seq) int32 {
 	support := int32(1 << 30)
 	code := genome.KmerCode(hap, 0, g.k)
 	for i := g.k; i < len(hap); i++ {
-		nd, ok := g.nodes[code]
-		g.lookups++
+		nd, ok := g.node(code)
 		if !ok {
 			return 0
 		}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/genome"
+	"repro/internal/seq2"
 )
 
 // defaultOccRate is the Occ-table checkpoint interval in BWT
@@ -50,6 +51,12 @@ type Index struct {
 
 	bwt []byte // BWT characters, one byte each; sentinelCode marks '$'
 
+	// occPacked is the BWT 2-bit packed (sentinel stored as base A), so
+	// the Occ block scan ranks 32 positions per popcount instead of one
+	// per byte load. The sentinel's contribution to the A count is
+	// corrected from the single primary position.
+	occPacked seq2.Packed
+
 	// occ[p/occRate] holds cumulative counts of the four bases in
 	// bwt[0:p] at checkpoint positions; sentinel occurrences are derived
 	// from the single primary position.
@@ -64,13 +71,15 @@ type Index struct {
 	saRank   []int32 // rank checkpoints per 64-bit word
 	saVals   []int32
 
-	// Tracer, when non-nil, receives Occ/BWT lookup addresses. Set it
-	// only for single-threaded instrumented runs: the index itself is
-	// otherwise safe for concurrent readers, but a Tracer is not
-	// synchronized. Occ-lookup counts (the kernel's data-parallel unit
-	// in the paper's Table III) are tallied by the SMEM driver, which
-	// knows each operation's lookup cost, so shared state stays
-	// read-only on the hot path.
+	// Tracer, when non-nil, receives Occ/BWT lookup addresses from the
+	// single-threaded entry points (ExtendBackward, BackwardSearch,
+	// FindSMEMs, ...). It is not synchronized: concurrent searchers
+	// must use FindSMEMsTraced with per-worker tracers, which is what
+	// RunKernelCtx does via KernelConfig.NewWorkerTracer — it never
+	// touches this field. Occ-lookup counts (the kernel's
+	// data-parallel unit in the paper's Table III) are tallied by the
+	// SMEM driver, which knows each operation's lookup cost, so shared
+	// state stays read-only on the hot path.
 	Tracer MemTracer
 }
 
@@ -165,6 +174,7 @@ func buildFromSA(g genome.Seq, text []byte, sa []int32, opts Options) *Index {
 		}
 	}
 	idx.occ[(n+1+occRate-1)/occRate] = running
+	idx.packOccBits()
 
 	// Sampled SA with rank dictionary.
 	words := (n + 1 + 63) / 64
@@ -205,17 +215,66 @@ func (x *Index) GenomeLen() int { return len(x.genome) }
 // Rows returns the number of BWT rows (textLen+1).
 func (x *Index) Rows() int { return x.textLen + 1 }
 
+// packOccBits (re)builds the 2-bit packed BWT used by occ4's popcount
+// ranking. The sentinel byte (code 4) packs as base A; occ4 corrects
+// the A count using the primary row position.
+func (x *Index) packOccBits() {
+	n := len(x.bwt)
+	words := make([]uint64, seq2.Words(n))
+	for i, b := range x.bwt {
+		words[i/seq2.BasesPerWord] |= uint64(b&3) << (2 * (uint(i) % seq2.BasesPerWord))
+	}
+	x.occPacked = seq2.FromWords(words, n)
+}
+
 // occ4 returns cumulative counts of the four bases in bwt[0:p].
 // It performs the paper's characteristic irregular lookup: one
-// checkpoint read plus a partial-block scan.
+// checkpoint read plus a partial-block rank, computed with four
+// popcounts per 32 BWT positions over the 2-bit packed block.
 func (x *Index) occ4(p int) [4]int32 {
+	return x.occ4t(p, x.Tracer)
+}
+
+// occ4t is occ4 with the trace sink passed explicitly, so concurrent
+// searches can route their address streams to per-worker tracers
+// instead of racing on x.Tracer.
+func (x *Index) occ4t(p int, tr MemTracer) [4]int32 {
 	ck := p / x.occRate
 	counts := x.occ[ck]
-	if x.Tracer != nil {
+	if tr != nil {
 		// Checkpoint table and BWT block live in distinct regions.
-		x.Tracer.Access(uint64(ck)*16, 16, false)
-		x.Tracer.Access(1<<32+uint64(ck)*uint64(x.occRate), x.occRate, false)
+		tr.Access(uint64(ck)*16, 16, false)
+		tr.Access(1<<32+uint64(ck)*uint64(x.occRate), x.occRate, false)
 	}
+	lo := ck * x.occRate
+	if p > lo {
+		c := x.occPacked.Count4Range(lo, p)
+		counts[0] += int32(c[0])
+		counts[1] += int32(c[1])
+		counts[2] += int32(c[2])
+		counts[3] += int32(c[3])
+		// The sentinel packed as A: undo its contribution when the
+		// primary row falls inside the scanned block prefix.
+		if x.primary >= lo && x.primary < p {
+			counts[0]--
+		}
+	}
+	return counts
+}
+
+// Occ4 exposes the popcount-ranked Occ lookup for external harnesses
+// (gbench-bench) and diagnostics.
+func (x *Index) Occ4(p int) [4]int32 { return x.occ4(p) }
+
+// Occ4Reference exposes the byte-scan reference ranking so harnesses
+// can benchmark and cross-check it against the packed path.
+func (x *Index) Occ4Reference(p int) [4]int32 { return x.occ4Scalar(p) }
+
+// occ4Scalar is the byte-scan reference implementation of occ4, kept
+// for differential tests against the popcount path.
+func (x *Index) occ4Scalar(p int) [4]int32 {
+	ck := p / x.occRate
+	counts := x.occ[ck]
 	for q := ck * x.occRate; q < p; q++ {
 		if b := x.bwt[q]; b < 4 {
 			counts[b]++
@@ -248,8 +307,12 @@ func (x *Index) Root() BiInterval {
 // returning intervals in base order. This is BWA's bwt_extend with
 // is_back=1.
 func (x *Index) ExtendBackward(iv BiInterval) [4]BiInterval {
-	lo := x.occ4(iv.K)
-	hi := x.occ4(iv.K + iv.S)
+	return x.extendBackwardT(iv, x.Tracer)
+}
+
+func (x *Index) extendBackwardT(iv BiInterval, tr MemTracer) [4]BiInterval {
+	lo := x.occ4t(iv.K, tr)
+	hi := x.occ4t(iv.K+iv.S, tr)
 	sentLo := x.occSentinel(iv.K)
 	sentHi := x.occSentinel(iv.K + iv.S)
 
@@ -271,8 +334,12 @@ func (x *Index) ExtendBackward(iv BiInterval) [4]BiInterval {
 // symmetry this is a backward extension on the reverse-complement
 // coordinates with complemented bases.
 func (x *Index) ExtendForward(iv BiInterval) [4]BiInterval {
+	return x.extendForwardT(iv, x.Tracer)
+}
+
+func (x *Index) extendForwardT(iv BiInterval, tr MemTracer) [4]BiInterval {
 	swapped := BiInterval{K: iv.L, L: iv.K, S: iv.S}
-	ext := x.ExtendBackward(swapped)
+	ext := x.extendBackwardT(swapped, tr)
 	var out [4]BiInterval
 	for b := 0; b < 4; b++ {
 		e := ext[3-b] // complement

@@ -188,6 +188,9 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if got := binary.LittleEndian.Uint32(buf[:]); got != want {
 		return nil, fmt.Errorf("fmindex: checksum mismatch %#x != %#x", got, want)
 	}
+	// The packed Occ blocks are derived state, rebuilt rather than
+	// serialized.
+	x.packOccBits()
 	return x, nil
 }
 

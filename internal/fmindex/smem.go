@@ -30,12 +30,12 @@ func (m SMEM) Hits() int { return m.Interval.S }
 // intervals at every size change, then a backward sweep that reports
 // matches the moment they stop being extendable. lookups counts Occ
 // lookups performed (2 per bidirectional extension).
-func (x *Index) smem1(read genome.Seq, pos, minLen, minHits int, out []SMEM, lookups *uint64) ([]SMEM, int) {
+func (x *Index) smem1(read genome.Seq, pos, minLen, minHits int, out []SMEM, lookups *uint64, tr MemTracer) ([]SMEM, int) {
 	type entry struct {
 		iv   BiInterval
 		qend int
 	}
-	iv := x.ExtendBackward(x.Root())[read[pos]&3]
+	iv := x.extendBackwardT(x.Root(), tr)[read[pos]&3]
 	*lookups += 2
 	if iv.S == 0 {
 		return out, pos + 1
@@ -48,7 +48,7 @@ func (x *Index) smem1(read genome.Seq, pos, minLen, minHits int, out []SMEM, loo
 			curr = append(curr, entry{iv, i})
 			break
 		}
-		next := x.ExtendForward(iv)[read[i]&3]
+		next := x.extendForwardT(iv, tr)[read[i]&3]
 		*lookups += 2
 		if next.S != iv.S {
 			curr = append(curr, entry{iv, i})
@@ -77,7 +77,7 @@ func (x *Index) smem1(read genome.Seq, pos, minLen, minHits int, out []SMEM, loo
 		for _, e := range prev {
 			var ext BiInterval
 			if i >= 0 {
-				ext = x.ExtendBackward(e.iv)[read[i]&3]
+				ext = x.extendBackwardT(e.iv, tr)[read[i]&3]
 				*lookups += 2
 			}
 			if i < 0 || ext.S < minHits {
@@ -109,8 +109,18 @@ func (x *Index) smem1(read genome.Seq, pos, minLen, minHits int, out []SMEM, loo
 
 // FindSMEMs enumerates all SMEMs of read with length ≥ minLen and at
 // least minHits occurrences. lookups, when non-nil, accumulates the
-// number of Occ-table lookups performed.
+// number of Occ-table lookups performed. Lookup addresses go to
+// x.Tracer; concurrent searchers use FindSMEMsTraced with private
+// tracers instead.
 func (x *Index) FindSMEMs(read genome.Seq, minLen, minHits int, lookups *uint64) []SMEM {
+	return x.FindSMEMsTraced(read, minLen, minHits, lookups, x.Tracer)
+}
+
+// FindSMEMsTraced is FindSMEMs routing the Occ/BWT address stream to
+// tr (nil for none) instead of the shared x.Tracer field. This is the
+// race-free way to trace concurrent searches: give every worker its
+// own tracer and merge afterwards.
+func (x *Index) FindSMEMsTraced(read genome.Seq, minLen, minHits int, lookups *uint64, tr MemTracer) []SMEM {
 	var scratch uint64
 	if lookups == nil {
 		lookups = &scratch
@@ -121,7 +131,7 @@ func (x *Index) FindSMEMs(read genome.Seq, minLen, minHits int, lookups *uint64)
 	var out []SMEM
 	pos := 0
 	for pos < len(read) {
-		out, pos = x.smem1(read, pos, minLen, minHits, out, lookups)
+		out, pos = x.smem1(read, pos, minLen, minHits, out, lookups, tr)
 	}
 	return out
 }
@@ -131,6 +141,13 @@ type KernelConfig struct {
 	MinSeedLen int // minimum SMEM length (BWA default 19)
 	MinHits    int // minimum occurrence count
 	Threads    int
+
+	// NewWorkerTracer, when non-nil, is called once per worker to make
+	// that worker's private MemTracer; the kernel never shares one
+	// tracer between workers (sharing x.Tracer across threads is a data
+	// race for unsynchronized tracer implementations). Callers merge
+	// the per-worker tracers after RunKernelCtx returns.
+	NewWorkerTracer func(worker int) MemTracer
 }
 
 // DefaultKernelConfig mirrors BWA-MEM2 defaults.
@@ -169,19 +186,26 @@ func RunKernelCtx(ctx context.Context, x *Index, reads []genome.Seq, cfg KernelC
 		smems   int
 		lookups uint64
 		stats   *perf.TaskStats
+		tracer  MemTracer
 		_       perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]workerState, cfg.Threads)
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("occ lookups")
+		if cfg.NewWorkerTracer != nil {
+			workers[i].tracer = cfg.NewWorkerTracer(i)
+		}
 	}
+	// Note: x.Tracer is deliberately NOT consulted here — a tracer
+	// shared by concurrent workers is a data race. Tracing kernel runs
+	// goes through cfg.NewWorkerTracer's per-worker sinks.
 	err := parallel.ForEachCtxErr(ctx, len(reads), cfg.Threads, func(tctx context.Context, w, i int) error {
 		if err := faultinject.Point(tctx); err != nil {
 			return err
 		}
 		ws := &workers[w]
 		var lookups uint64
-		smems := x.FindSMEMs(reads[i], cfg.MinSeedLen, cfg.MinHits, &lookups)
+		smems := x.FindSMEMsTraced(reads[i], cfg.MinSeedLen, cfg.MinHits, &lookups, ws.tracer)
 		ws.smems += len(smems)
 		ws.lookups += lookups
 		ws.stats.Observe(float64(lookups))

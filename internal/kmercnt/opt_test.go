@@ -1,0 +1,108 @@
+package kmercnt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/seq2"
+)
+
+// tablesEqual reports whether two tables hold the same key->count
+// mapping (slot layout may differ only if insertion order differed, so
+// equality here also certifies identical insertion sequences).
+func tablesEqual(a, b *Table) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i, key := range a.keys {
+		if key == 0 {
+			continue
+		}
+		if b.Count(key-1) != a.counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The rolling-reverse-complement and packed encoders must produce
+// tables identical to the scalar reference, including probe counts
+// (same keys in the same order means the same probe sequence).
+func TestCountSeqVariantsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, mode := range []Probing{Linear, RobinHood} {
+		for _, k := range []int{5, 17, 31} {
+			ref := NewTable(1<<10, mode)
+			fast := NewTable(1<<10, mode)
+			packed := NewTable(1<<10, mode)
+			var refN, fastN, packedN uint64
+			var buf []uint64
+			for trial := 0; trial < 30; trial++ {
+				s := genome.Random(rng, k-2+rng.Intn(400))
+				refN += CountSeq(ref, s, k)
+				fastN += CountSeqFast(fast, s, k)
+				p := seq2.PackInto(buf, s)
+				buf = p.WordsSlice()
+				packedN += CountSeqPacked(packed, p, k)
+			}
+			if fastN != refN || packedN != refN {
+				t.Fatalf("mode=%v k=%d: kmer counts %d/%d, want %d", mode, k, fastN, packedN, refN)
+			}
+			if !tablesEqual(ref, fast) {
+				t.Fatalf("mode=%v k=%d: fast table differs from reference", mode, k)
+			}
+			if !tablesEqual(ref, packed) {
+				t.Fatalf("mode=%v k=%d: packed table differs from reference", mode, k)
+			}
+			if fast.Probes != ref.Probes || packed.Probes != ref.Probes {
+				t.Fatalf("mode=%v k=%d: probes %d/%d, want %d", mode, k, fast.Probes, packed.Probes, ref.Probes)
+			}
+		}
+	}
+}
+
+func TestCountSeqFastShortInputs(t *testing.T) {
+	tb := NewTable(16, Linear)
+	if n := CountSeqFast(tb, genome.MustFromString("ACG"), 5); n != 0 {
+		t.Fatalf("short seq: n=%d", n)
+	}
+	if n := CountSeqPacked(tb, seq2.Pack(genome.MustFromString("ACG")), 5); n != 0 {
+		t.Fatalf("short packed seq: n=%d", n)
+	}
+}
+
+// Scalar canonicalization versus rolling/packed encoders: the bench
+// harness's kmercnt before/after pair.
+func BenchmarkCountSeq(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	const k = 17
+	reads := make([]genome.Seq, 32)
+	for i := range reads {
+		reads[i] = genome.Random(rng, 1000)
+	}
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		tb := NewTable(1<<16, Linear)
+		for i := 0; i < b.N; i++ {
+			CountSeq(tb, reads[i%len(reads)], k)
+		}
+	})
+	b.Run("rolling", func(b *testing.B) {
+		b.ReportAllocs()
+		tb := NewTable(1<<16, Linear)
+		for i := 0; i < b.N; i++ {
+			CountSeqFast(tb, reads[i%len(reads)], k)
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		b.ReportAllocs()
+		tb := NewTable(1<<16, Linear)
+		var buf []uint64
+		for i := 0; i < b.N; i++ {
+			p := seq2.PackInto(buf, reads[i%len(reads)])
+			buf = p.WordsSlice()
+			CountSeqPacked(tb, p, k)
+		}
+	})
+}

@@ -250,6 +250,71 @@ func ForEachChunked(n, threads, chunk int, fn func(worker, task int)) {
 	})
 }
 
+// ForEachChunkedCtx is ForEachCtx with a chunk size greater than one:
+// workers pull chunks of `chunk` consecutive task indices, cutting
+// scheduling overhead for fine-grained tasks while keeping cooperative
+// cancellation and panic isolation. It records into the same per-task
+// latency histogram and worker-utilization gauge ForEachCtx does; each
+// observation covers one chunk (the scheduling unit), and a
+// *PanicError reports the chunk index in Task.
+func ForEachChunkedCtx(ctx context.Context, n, threads, chunk int, fn func(worker, task int)) error {
+	if chunk <= 1 {
+		return ForEachCtx(ctx, n, threads, fn)
+	}
+	chunks := (n + chunk - 1) / chunk
+	return ForEachCtx(ctx, chunks, threads, func(worker, c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			fn(worker, i)
+		}
+	})
+}
+
+// ForEachChunkedCtxErr is ForEachCtxErr with chunked dispatch: the
+// error-returning, context-threading variant of ForEachChunkedCtx. The
+// first task error stops the chunk immediately (remaining indices of
+// that chunk are skipped) and cancels dispatch of further chunks.
+func ForEachChunkedCtxErr(ctx context.Context, n, threads, chunk int, fn func(ctx context.Context, worker, task int) error) error {
+	if chunk <= 1 {
+		return ForEachCtxErr(ctx, n, threads, fn)
+	}
+	chunks := (n + chunk - 1) / chunk
+	return ForEachCtxErr(ctx, chunks, threads, func(cctx context.Context, worker, c int) error {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			if err := fn(cctx, worker, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ChunkFor picks a chunk size for n fine-grained tasks on `threads`
+// workers: large enough to amortize the shared-counter fetch, small
+// enough to keep ~8 chunks per worker for dynamic load balancing.
+func ChunkFor(n, threads int) int {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	chunk := n / (threads * 8)
+	if chunk < 1 {
+		return 1
+	}
+	if chunk > 64 {
+		return 64
+	}
+	return chunk
+}
+
 // ScalingPoint is one measurement of a scaling sweep.
 type ScalingPoint struct {
 	Threads  int

@@ -1,0 +1,115 @@
+package phmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+)
+
+func randomReadHap(rng *rand.Rand) (genome.Seq, []byte, genome.Seq) {
+	m := 10 + rng.Intn(150)
+	n := m + rng.Intn(100)
+	read := genome.Random(rng, m)
+	qual := make([]byte, m)
+	for i := range qual {
+		qual[i] = byte(10 + rng.Intn(40))
+	}
+	hap := genome.Random(rng, n)
+	// Half the time make the read a mutated slice of the haplotype, the
+	// realistic high-likelihood shape.
+	if rng.Intn(2) == 0 {
+		off := rng.Intn(n - m + 1)
+		copy(read, hap[off:off+m])
+		for k := 0; k < m/20+1; k++ {
+			read[rng.Intn(m)] = genome.Base(rng.Intn(4))
+		}
+	}
+	return read, qual, hap
+}
+
+// Pooled evaluation must be bit-identical to the allocating path.
+func TestLikelihoodIntoDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewScratch()
+	for trial := 0; trial < 200; trial++ {
+		read, qual, hap := randomReadHap(rng)
+		want := Likelihood(read, qual, hap)
+		got := LikelihoodInto(read, qual, hap, s)
+		if got != want {
+			t.Fatalf("trial %d (|r|=%d |h|=%d): got %+v want %+v",
+				trial, len(read), len(hap), got, want)
+		}
+	}
+}
+
+func TestEvaluateRegionIntoDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := NewScratch()
+	for trial := 0; trial < 20; trial++ {
+		rg := randomRegion(rng, 4+rng.Intn(6), 2+rng.Intn(3))
+		want := EvaluateRegion(rg)
+		got := EvaluateRegionInto(rg, s)
+		if got.CellUpdates != want.CellUpdates || got.Fallbacks != want.Fallbacks {
+			t.Fatalf("trial %d: counters differ: got %+v want %+v", trial, got, want)
+		}
+		for i := range want.BestHap {
+			if got.BestHap[i] != want.BestHap[i] {
+				t.Fatalf("trial %d: BestHap[%d] = %d, want %d", trial, i, got.BestHap[i], want.BestHap[i])
+			}
+		}
+		for i := range want.Likelihoods {
+			if got.Likelihoods[i] != want.Likelihoods[i] {
+				t.Fatalf("trial %d: Likelihoods[%d] = %v, want %v", trial, i, got.Likelihoods[i], want.Likelihoods[i])
+			}
+		}
+	}
+}
+
+func randomRegion(rng *rand.Rand, reads, haps int) *Region {
+	rg := &Region{}
+	for h := 0; h < haps; h++ {
+		rg.Haps = append(rg.Haps, genome.Random(rng, 100+rng.Intn(100)))
+	}
+	for r := 0; r < reads; r++ {
+		read, qual, _ := randomReadHap(rng)
+		rg.Reads = append(rg.Reads, read)
+		rg.Quals = append(rg.Quals, qual)
+	}
+	return rg
+}
+
+// The steady-state region loop must be allocation-free once the
+// scratch is warm: the zero-allocation invariant the PR gates on.
+func TestEvaluateRegionIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rg := randomRegion(rng, 6, 3)
+	s := NewScratch()
+	EvaluateRegionInto(rg, s) // warm the scratch
+	n := testing.AllocsPerRun(20, func() {
+		EvaluateRegionInto(rg, s)
+	})
+	if n != 0 {
+		t.Fatalf("AllocsPerRun = %v, want 0", n)
+	}
+}
+
+// Unpooled versus pooled region evaluation: the bench harness's phmm
+// before/after pair.
+func BenchmarkEvaluateRegion(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	rg := randomRegion(rng, 8, 4)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			EvaluateRegion(rg)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		s := NewScratch()
+		for i := 0; i < b.N; i++ {
+			EvaluateRegionInto(rg, s)
+		}
+	})
+}

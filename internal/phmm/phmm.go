@@ -14,6 +14,7 @@ import (
 	"repro/internal/genome"
 	"repro/internal/parallel"
 	"repro/internal/perf"
+	"repro/internal/scratch"
 )
 
 // Transition probabilities follow GATK's defaults: gap-open quality 45
@@ -56,18 +57,28 @@ const underflowThreshold32 = 1e-28
 // returns the raw (scaled) likelihood sum plus the number of DP cells
 // computed.
 func forward[F Float](read genome.Seq, qual []byte, hap genome.Seq, scale float64) (F, uint64) {
+	var rows [6][]F
+	return forwardInto(read, qual, hap, scale, &rows)
+}
+
+// forwardInto is forward computing into six caller-owned DP rows, each
+// grown in place and reused across calls. The cur rows are fully
+// overwritten every row; the prev rows are reinitialized here, so
+// stale contents never leak into the recurrence.
+func forwardInto[F Float](read genome.Seq, qual []byte, hap genome.Seq, scale float64, rows *[6][]F) (F, uint64) {
 	m := len(read)
 	n := len(hap)
 	if m == 0 || n == 0 {
 		return 0, 0
 	}
 	// Row-wise DP over the read; columns are haplotype positions.
-	curM := make([]F, n+1)
-	curI := make([]F, n+1)
-	curD := make([]F, n+1)
-	prevM := make([]F, n+1)
-	prevI := make([]F, n+1)
-	prevD := make([]F, n+1)
+	for k := range rows {
+		rows[k] = scratch.Grow(rows[k], n+1)
+	}
+	curM, curI, curD := rows[0], rows[1], rows[2]
+	prevM, prevI, prevD := rows[3], rows[4], rows[5]
+	clear(prevM)
+	clear(prevI)
 
 	// Free start anywhere on the haplotype: D row 0 carries the scaled
 	// initial mass.
@@ -144,6 +155,47 @@ func Likelihood(read genome.Seq, qual []byte, hap genome.Seq) Result {
 	}
 }
 
+// Scratch holds the grow-only working storage for pooled phmm
+// evaluation: the six DP rows for each precision plus the per-region
+// output slices. One Scratch per worker; not safe for concurrent use.
+// Slices inside a RegionResult produced by EvaluateRegionInto remain
+// valid only until the next call with the same Scratch.
+type Scratch struct {
+	rows32      [6][]float32
+	rows64      [6][]float64
+	bestHap     []int
+	likelihoods []float64
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// LikelihoodInto is Likelihood using s's reusable DP rows. A nil s
+// falls back to the allocating path. Results are bit-identical to
+// Likelihood.
+func LikelihoodInto(read genome.Seq, qual []byte, hap genome.Seq, s *Scratch) Result {
+	if s == nil {
+		return Likelihood(read, qual, hap)
+	}
+	if len(read) == 0 || len(hap) == 0 {
+		return Result{Log10Likelihood: math.Inf(-1)}
+	}
+	sum32, cells := forwardInto(read, qual, hap, initialScale32, &s.rows32)
+	if v := float64(sum32); v > underflowThreshold32 && !math.IsInf(v, 0) {
+		return Result{
+			Log10Likelihood: math.Log10(v) - math.Log10(initialScale32),
+			CellUpdates:     cells,
+		}
+	}
+	const scale64 = 1e280
+	sum64, cells64 := forwardInto(read, qual, hap, scale64, &s.rows64)
+	return Result{
+		Log10Likelihood: math.Log10(sum64) - math.Log10(scale64),
+		UsedDouble:      true,
+		CellUpdates:     cells + cells64,
+	}
+}
+
 // Region is one independent task: the reads aligned to a genome window
 // and the candidate haplotypes assembled for it. The kernel evaluates
 // all |R| x |H| pairs.
@@ -166,15 +218,29 @@ type RegionResult struct {
 
 // EvaluateRegion runs all pairwise alignments of one region.
 func EvaluateRegion(rg *Region) RegionResult {
+	return EvaluateRegionInto(rg, nil)
+}
+
+// EvaluateRegionInto is EvaluateRegion computing into s's reusable
+// storage; the returned slices are owned by s and valid until the next
+// call. A nil s allocates fresh output slices.
+func EvaluateRegionInto(rg *Region, s *Scratch) RegionResult {
 	nr, nh := len(rg.Reads), len(rg.Haps)
-	res := RegionResult{
-		BestHap:     make([]int, nr),
-		Likelihoods: make([]float64, nr*nh),
+	var res RegionResult
+	if s != nil {
+		s.bestHap = scratch.Grow(s.bestHap, nr)
+		s.likelihoods = scratch.Grow(s.likelihoods, nr*nh)
+		res.BestHap = s.bestHap
+		res.Likelihoods = s.likelihoods
+		clear(res.BestHap)
+	} else {
+		res.BestHap = make([]int, nr)
+		res.Likelihoods = make([]float64, nr*nh)
 	}
 	for r := 0; r < nr; r++ {
 		best := math.Inf(-1)
 		for h := 0; h < nh; h++ {
-			lr := Likelihood(rg.Reads[r], rg.Quals[r], rg.Haps[h])
+			lr := LikelihoodInto(rg.Reads[r], rg.Quals[r], rg.Haps[h], s)
 			res.Likelihoods[r*nh+h] = lr.Log10Likelihood
 			res.CellUpdates += lr.CellUpdates
 			if lr.UsedDouble {
@@ -222,17 +288,19 @@ func RunKernelCtx(ctx context.Context, regions []*Region, threads int) (KernelRe
 		cells     uint64
 		fallbacks int
 		stats     *perf.TaskStats
+		scratch   *Scratch
 		_         perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]ws, threads)
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("cell updates")
+		workers[i].scratch = NewScratch()
 	}
 	err := parallel.ForEachCtxErr(ctx, len(regions), threads, func(tctx context.Context, w, i int) error {
 		if err := faultinject.Point(tctx); err != nil {
 			return err
 		}
-		r := EvaluateRegion(regions[i])
+		r := EvaluateRegionInto(regions[i], workers[w].scratch)
 		workers[w].pairs += len(regions[i].Reads) * len(regions[i].Haps)
 		workers[w].cells += r.CellUpdates
 		workers[w].fallbacks += r.Fallbacks

@@ -14,6 +14,7 @@ import (
 	"repro/internal/genome"
 	"repro/internal/parallel"
 	"repro/internal/perf"
+	"repro/internal/scratch"
 )
 
 // Params are alignment scores (global alignment with linear gaps, the
@@ -43,6 +44,12 @@ type node struct {
 	alignedTo []int32
 }
 
+// aligned is one backtracked (nodeID, seqPos) pair.
+type aligned struct {
+	node int32 // -1 when the base is an insertion
+	pos  int32 // -1 when the node is a deletion
+}
+
 // Graph is a partial-order alignment graph.
 type Graph struct {
 	nodes []node
@@ -52,10 +59,34 @@ type Graph struct {
 	// CellUpdates counts DP cells computed across all alignments, the
 	// kernel's data-parallel unit in the paper's Table III.
 	CellUpdates uint64
+
+	// Grow-only working storage reused across AddSequence/Consensus
+	// calls (and, via Reset, across windows), so the steady-state DP
+	// never reallocates its rows.
+	indeg      []int32
+	queue      []int32
+	rank       []int32
+	score      []int32
+	moveT      []uint8
+	movePred   []int32
+	path       []aligned
+	consScores []int64
+	consPred   []int32
+	consRev    genome.Seq
 }
 
 // New creates an empty graph.
 func New() *Graph { return &Graph{} }
+
+// Reset clears the graph for reuse on a new window, retaining node,
+// edge, and DP scratch storage. A worker that processes many windows
+// with one Reset graph reaches a steady state where alignment costs no
+// heap allocations beyond the returned consensus.
+func (g *Graph) Reset() {
+	g.nodes = g.nodes[:0]
+	g.dirty = true
+	g.CellUpdates = 0
+}
 
 // NumNodes returns the vertex count.
 func (g *Graph) NumNodes() int { return len(g.nodes) }
@@ -70,7 +101,18 @@ func (g *Graph) NumEdges() int {
 }
 
 func (g *Graph) addNode(b genome.Base) int32 {
-	g.nodes = append(g.nodes, node{base: b})
+	if len(g.nodes) < cap(g.nodes) {
+		// Re-extend into storage kept by Reset, truncating the stale
+		// entry's edge lists in place so their capacity carries over.
+		g.nodes = g.nodes[:len(g.nodes)+1]
+		nd := &g.nodes[len(g.nodes)-1]
+		nd.base = b
+		nd.out = nd.out[:0]
+		nd.in = nd.in[:0]
+		nd.alignedTo = nd.alignedTo[:0]
+	} else {
+		g.nodes = append(g.nodes, node{base: b})
+	}
 	g.dirty = true
 	return int32(len(g.nodes) - 1)
 }
@@ -115,22 +157,23 @@ func (g *Graph) topoOrderChecked() ([]int32, error) {
 		return g.topo, nil
 	}
 	n := len(g.nodes)
-	indeg := make([]int32, n)
+	g.indeg = scratch.Grow(g.indeg, n)
+	indeg := g.indeg
+	clear(indeg)
 	for i := range g.nodes {
 		for _, e := range g.nodes[i].out {
 			indeg[e.to]++
 		}
 	}
-	order := make([]int32, 0, n)
-	queue := make([]int32, 0, n)
+	order := g.topo[:0]
+	queue := g.queue[:0]
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
 			queue = append(queue, int32(i))
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
 		order = append(order, v)
 		for _, e := range g.nodes[v].out {
 			indeg[e.to]--
@@ -139,6 +182,7 @@ func (g *Graph) topoOrderChecked() ([]int32, error) {
 			}
 		}
 	}
+	g.queue = queue
 	if len(order) != n {
 		return nil, ErrCycle
 	}
@@ -216,16 +260,21 @@ func (g *Graph) AddSequenceMode(seq genome.Seq, p Params, mode AlignMode) {
 	order := g.topoOrder()
 	n := len(seq)
 	V := len(order)
-	// rank[v] is the DP row of node v.
-	rank := make([]int32, len(g.nodes))
+	// rank[v] is the DP row of node v. All DP buffers are grow-only
+	// graph scratch; every cell the recurrence reads is written first
+	// (plus the explicit score[0] seed), so stale contents are inert.
+	g.rank = scratch.Grow(g.rank, len(g.nodes))
+	rank := g.rank
 	for r, v := range order {
 		rank[v] = int32(r)
 	}
 	width := n + 1
-	score := make([]int32, (V+1)*width)
-	moveT := make([]uint8, (V+1)*width)
-	movePred := make([]int32, (V+1)*width)
+	g.score = scratch.Grow(g.score, (V+1)*width)
+	g.moveT = scratch.Grow(g.moveT, (V+1)*width)
+	g.movePred = scratch.Grow(g.movePred, (V+1)*width)
+	score, moveT, movePred := g.score, g.moveT, g.movePred
 	// Row 0 is the virtual start (no graph node consumed).
+	score[0] = 0
 	for j := 1; j <= n; j++ {
 		score[j] = int32(j) * p.Gap
 		moveT[j] = moveLeft
@@ -326,11 +375,7 @@ func (g *Graph) AddSequenceMode(seq genome.Seq, p Params, mode AlignMode) {
 	}
 
 	// Backtrack into (nodeID, seqPos) alignment pairs.
-	type aligned struct {
-		node int32 // -1 when the base is an insertion
-		pos  int32 // -1 when the node is a deletion
-	}
-	var path []aligned
+	path := g.path[:0]
 	r, j := endRow, n
 	for {
 		cell := r*int32(width) + int32(j)
@@ -350,6 +395,7 @@ func (g *Graph) AddSequenceMode(seq genome.Seq, p Params, mode AlignMode) {
 		}
 	}
 done:
+	g.path = path
 	// path is reversed (end to start); fuse walking start to end.
 	prevNode := int32(-1)
 	for i := len(path) - 1; i >= 0; i-- {
@@ -398,8 +444,10 @@ func (g *Graph) Consensus() genome.Seq {
 		return nil
 	}
 	order := g.topoOrder()
-	scores := make([]int64, len(g.nodes))
-	pred := make([]int32, len(g.nodes))
+	g.consScores = scratch.Grow(g.consScores, len(g.nodes))
+	g.consPred = scratch.Grow(g.consPred, len(g.nodes))
+	scores, pred := g.consScores, g.consPred
+	clear(scores)
 	for i := range pred {
 		pred[i] = -1
 	}
@@ -419,10 +467,13 @@ func (g *Graph) Consensus() genome.Seq {
 			best = v
 		}
 	}
-	var rev genome.Seq
+	rev := g.consRev[:0]
 	for at := best; at >= 0; at = pred[at] {
 		rev = append(rev, g.nodes[at].base)
 	}
+	g.consRev = rev
+	// The consensus escapes to the caller; it is the one allocation a
+	// pooled window evaluation keeps.
 	out := make(genome.Seq, len(rev))
 	for i, b := range rev {
 		out[len(rev)-1-i] = b
@@ -451,7 +502,16 @@ type Window struct {
 // ConsensusOf builds the POA for a window and returns its consensus
 // plus the DP cells computed.
 func ConsensusOf(w *Window, p Params) (genome.Seq, uint64) {
-	g := New()
+	return ConsensusInto(w, p, New())
+}
+
+// ConsensusInto is ConsensusOf reusing g's node, edge, and DP storage:
+// the graph is Reset and rebuilt, so a worker looping over windows
+// with one graph stops allocating once its buffers have grown to the
+// largest window seen. The returned consensus is freshly allocated and
+// safe to retain.
+func ConsensusInto(w *Window, p Params, g *Graph) (genome.Seq, uint64) {
+	g.Reset()
 	for _, s := range w.Sequences {
 		g.AddSequence(s, p)
 	}
@@ -487,17 +547,19 @@ func RunKernelCtx(ctx context.Context, windows []*Window, p Params, threads int)
 	type ws struct {
 		cells uint64
 		stats *perf.TaskStats
+		graph *Graph
 		_     perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]ws, threads)
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("cell updates")
+		workers[i].graph = New()
 	}
 	err := parallel.ForEachCtxErr(ctx, len(windows), threads, func(tctx context.Context, w, i int) error {
 		if err := faultinject.Point(tctx); err != nil {
 			return err
 		}
-		cons, cells := ConsensusOf(windows[i], p)
+		cons, cells := ConsensusInto(windows[i], p, workers[w].graph)
 		consensi[i] = cons
 		workers[w].cells += cells
 		workers[w].stats.Observe(float64(cells))

@@ -1,0 +1,105 @@
+// Package scratch provides per-worker reusable scratch arenas for the
+// suite's hot task loops. The original GenomicsBench kernels allocate
+// their DP rows and probe buffers once per thread and reuse them for
+// every task; the pure-Go ports initially allocated per call, paying
+// allocator and GC costs the paper's kernels never did. An Arena makes
+// the original discipline expressible: each scheduler worker owns one
+// Arena, calls Reset at the top of every task, and draws grow-only
+// typed buffers from it. Steady state (buffer sizes stable across
+// tasks) performs zero heap allocations per task.
+//
+// An Arena is NOT safe for concurrent use; the intended pattern is one
+// Arena per parallel worker, threaded through the per-worker state that
+// kernels already keep for counters (see bsw.RunKernelCtx).
+package scratch
+
+// pool hands out grow-only buffers of one element type in call order.
+// Reset rewinds the cursor so the next task reuses the same backing
+// arrays; a request larger than a slot's capacity regrows just that
+// slot.
+type pool[T any] struct {
+	bufs [][]T
+	next int
+}
+
+func (p *pool[T]) get(n int) []T {
+	if p.next < len(p.bufs) {
+		b := p.bufs[p.next]
+		if cap(b) < n {
+			b = make([]T, n)
+			p.bufs[p.next] = b
+		}
+		p.next++
+		return b[:n]
+	}
+	b := make([]T, n)
+	p.bufs = append(p.bufs, b)
+	p.next++
+	return b
+}
+
+func (p *pool[T]) reset() { p.next = 0 }
+
+// Arena hands out reusable typed buffers. The zero value is ready to
+// use. Buffers returned by the getters contain arbitrary stale data;
+// callers must initialize every element they read (DP cores already do,
+// since they write row 0 / column 0 explicitly).
+//
+// Buffers stay valid until the Arena is Reset; two successive calls to
+// the same getter return distinct buffers.
+type Arena struct {
+	ints pool[int]
+	i32  pool[int32]
+	u64  pool[uint64]
+	f32  pool[float32]
+	f64  pool[float64]
+	byt  pool[byte]
+}
+
+// New returns an empty Arena. Equivalent to new(Arena); provided for
+// symmetry with the rest of the suite's constructors.
+func New() *Arena { return &Arena{} }
+
+// Reset rewinds the arena so subsequent getters reuse the buffers
+// handed out since the previous Reset. Call it at the top of each task.
+func (a *Arena) Reset() {
+	a.ints.reset()
+	a.i32.reset()
+	a.u64.reset()
+	a.f32.reset()
+	a.f64.reset()
+	a.byt.reset()
+}
+
+// Ints returns a reusable []int of length n (contents unspecified).
+func (a *Arena) Ints(n int) []int { return a.ints.get(n) }
+
+// Int32s returns a reusable []int32 of length n (contents unspecified).
+func (a *Arena) Int32s(n int) []int32 { return a.i32.get(n) }
+
+// Uint64s returns a reusable []uint64 of length n (contents unspecified).
+func (a *Arena) Uint64s(n int) []uint64 { return a.u64.get(n) }
+
+// Float32s returns a reusable []float32 of length n (contents unspecified).
+func (a *Arena) Float32s(n int) []float32 { return a.f32.get(n) }
+
+// Float64s returns a reusable []float64 of length n (contents unspecified).
+func (a *Arena) Float64s(n int) []float64 { return a.f64.get(n) }
+
+// Bytes returns a reusable []byte of length n (contents unspecified).
+func (a *Arena) Bytes(n int) []byte { return a.byt.get(n) }
+
+// Grow returns a slice of length n backed by buf's array when it is
+// large enough, allocating a fresh array only when capacity is
+// exceeded. It is the free-standing grow-only helper for kernels whose
+// scratch is a named struct of typed slices rather than an Arena:
+//
+//	s.prev = scratch.Grow(s.prev, W)
+//
+// Contents are unspecified; callers must initialize what they read.
+func Grow[T any](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]T, n)
+}
