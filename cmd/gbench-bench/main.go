@@ -28,15 +28,19 @@ import (
 	"repro/internal/abea"
 	"repro/internal/benchjson"
 	"repro/internal/bsw"
+	"repro/internal/chain"
 	"repro/internal/dbg"
 	"repro/internal/fmindex"
 	"repro/internal/genome"
+	"repro/internal/grm"
 	"repro/internal/kmercnt"
 	"repro/internal/phmm"
+	"repro/internal/pileup"
 	"repro/internal/poa"
 	"repro/internal/scratch"
 	"repro/internal/seq2"
 	"repro/internal/signalsim"
+	"repro/internal/simio"
 )
 
 // pairSpec is one kernel's before/after benchmark pair. Inputs are
@@ -57,6 +61,7 @@ func main() {
 		kernels   = flag.String("kernels", "", "comma-separated kernel filter (default all)")
 		compare   = flag.Bool("compare", false, "compare two report files: gbench-bench -compare baseline.json current.json")
 		tolerance = flag.Float64("tolerance", 1.25, "allowed slowdown factor on optimized paths in -compare mode")
+		threads   = flag.Int("threads", 4, "thread count for the parallel side of the */threads pairs")
 	)
 	flag.Parse()
 
@@ -82,7 +87,7 @@ func main() {
 	}
 
 	report := benchjson.New()
-	for _, spec := range allPairs() {
+	for _, spec := range allPairs(*threads) {
 		if len(want) > 0 && !want[spec.kernel] {
 			continue
 		}
@@ -158,11 +163,147 @@ func metricsOf(name string, r testing.BenchmarkResult) benchjson.Metrics {
 
 // allPairs builds every kernel's before/after pair. Workloads mirror
 // the BenchmarkXxx pairs in each kernel's opt_test.go: realistic sizes,
-// deterministic seeds.
-func allPairs() []pairSpec {
+// deterministic seeds. threads sets the parallel side of the
+// */threads scaling pairs.
+func allPairs(threads int) []pairSpec {
+	pairs := []pairSpec{
+		bswPair(), phmmPair(), phmmLanesPair(), kmercntPair(),
+		fmindexPair(), poaPair(), abeaPair(), abeaLanesPair(), dbgPair(),
+		pileupPair(), grmPair(),
+	}
+	return append(pairs, threadsPairs(threads)...)
+}
+
+// pileupPair measures the packed match-run counting path against the
+// per-base reference walker over region-split simulated alignments —
+// the same work CountRegion does per suite task.
+func pileupPair() pairSpec {
+	rng := rand.New(rand.NewSource(71))
+	ref := genome.Random(rng, 20_000)
+	alnCfg := simio.DefaultAlignSim()
+	alnCfg.MeanReadLen = 800
+	alns := simio.SimulateAlignments(rng, ref, 400, alnCfg)
+	regions := pileup.SplitRegions(len(ref), alns, 5_000)
+	return pairSpec{
+		kernel: "pileup", pair: "count",
+		baselineName: "pileup/count/scalar", optimizedName: "pileup/count/packed",
+		baseline: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pileup.CountRegionScalar(regions[i%len(regions)])
+			}
+		},
+		optimized: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pileup.CountRegion(regions[i%len(regions)])
+			}
+		},
+	}
+}
+
+// grmPair measures the tile-blocked relationship-matrix build against
+// the naive triple loop on a population small enough that the naive
+// side finishes in benchmark time.
+func grmPair() pairSpec {
+	rng := rand.New(rand.NewSource(72))
+	g := grm.Simulate(rng, 96, 512, 0.1)
+	return pairSpec{
+		kernel: "grm", pair: "compute",
+		baselineName: "grm/compute/naive", optimizedName: "grm/compute/blocked",
+		baseline: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				grm.ComputeNaive(g)
+			}
+		},
+		optimized: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				grm.Compute(g, 64, 1)
+			}
+		},
+	}
+}
+
+// threadsPairs is the -threads axis: the same kernel execution at one
+// thread and at the flag's thread count, for the inter-task-parallel
+// kernels whose pairs above are single-threaded micro pairs. The pair
+// speedup is the parallel scaling factor.
+func threadsPairs(threads int) []pairSpec {
+	if threads < 1 {
+		threads = 1
+	}
+	tName := fmt.Sprintf("t%d", threads)
+
+	// chain: one task per read pair, anchors from real minimizer hits.
+	rng := rand.New(rand.NewSource(81))
+	tasks := make([]chain.Task, 48)
+	for i := range tasks {
+		base := genome.Random(rng, 2_000)
+		other := base.Clone()
+		for m := 0; m < 40; m++ {
+			other[rng.Intn(len(other))] = genome.Base(rng.Intn(4))
+		}
+		tasks[i] = chain.Task{Anchors: chain.SharedAnchors(base, other, 15, 10, 64)}
+	}
+	chainCfg := chain.DefaultConfig()
+
+	// grm: tile tasks over a larger population than the micro pair.
+	grng := rand.New(rand.NewSource(82))
+	gts := grm.Simulate(grng, 256, 1_024, 0.1)
+
+	// pileup: region tasks over simulated alignments.
+	prng := rand.New(rand.NewSource(83))
+	ref := genome.Random(prng, 50_000)
+	alnCfg := simio.DefaultAlignSim()
+	alnCfg.MeanReadLen = 800
+	alns := simio.SimulateAlignments(prng, ref, 1_000, alnCfg)
+	regions := pileup.SplitRegions(len(ref), alns, 5_000)
+
 	return []pairSpec{
-		bswPair(), phmmPair(), kmercntPair(), fmindexPair(),
-		poaPair(), abeaPair(), dbgPair(),
+		{
+			kernel: "chain", pair: "threads",
+			baselineName: "chain/threads/t1", optimizedName: "chain/threads/" + tName,
+			baseline: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					chain.RunKernel(tasks, chainCfg, 1)
+				}
+			},
+			optimized: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					chain.RunKernel(tasks, chainCfg, threads)
+				}
+			},
+		},
+		{
+			kernel: "grm", pair: "threads",
+			baselineName: "grm/threads/t1", optimizedName: "grm/threads/" + tName,
+			baseline: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					grm.Compute(gts, 64, 1)
+				}
+			},
+			optimized: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					grm.Compute(gts, 64, threads)
+				}
+			},
+		},
+		{
+			kernel: "pileup", pair: "threads",
+			baselineName: "pileup/threads/t1", optimizedName: "pileup/threads/" + tName,
+			baseline: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pileup.RunKernel(regions, 1)
+				}
+			},
+			optimized: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pileup.RunKernel(regions, threads)
+				}
+			},
+		},
 	}
 }
 
@@ -230,6 +371,62 @@ func phmmPair() pairSpec {
 			s := phmm.NewScratch()
 			for i := 0; i < b.N; i++ {
 				phmm.EvaluateRegionInto(rg, s)
+			}
+		},
+	}
+}
+
+// phmmLanesPair measures the lane-batched region evaluation against
+// the scalar reference on lane-friendly regions: haplotype counts in
+// the dozens (GATK's assembler emits up to 128 candidates per active
+// region), short reads against longer haplotypes, mirroring the phmm
+// kernel workload's geometry.
+func phmmLanesPair() pairSpec {
+	rng := rand.New(rand.NewSource(15))
+	regions := make([]*phmm.Region, 6)
+	for i := range regions {
+		hapLen := 120 + rng.Intn(180)
+		base := genome.Random(rng, hapLen)
+		rg := &phmm.Region{}
+		nh := 20 + rng.Intn(13)
+		for h := 0; h < nh; h++ {
+			hap := base.Clone()
+			for m := 0; m < h%8; m++ {
+				hap[rng.Intn(len(hap))] = genome.Base(rng.Intn(4))
+			}
+			rg.Haps = append(rg.Haps, hap)
+		}
+		for r := 0; r < 6+rng.Intn(10); r++ {
+			rl := 40 + rng.Intn(40)
+			start := rng.Intn(hapLen - rl)
+			read := base[start : start+rl].Clone()
+			for k := 0; k < rl/30+1; k++ {
+				read[rng.Intn(rl)] = genome.Base(rng.Intn(4))
+			}
+			qual := make([]byte, rl)
+			for q := range qual {
+				qual[q] = byte(20 + rng.Intn(20))
+			}
+			rg.Reads = append(rg.Reads, read)
+			rg.Quals = append(rg.Quals, qual)
+		}
+		regions[i] = rg
+	}
+	return pairSpec{
+		kernel: "phmm", pair: "lanes",
+		baselineName: "phmm/lanes/scalar", optimizedName: "phmm/lanes/lane8",
+		baseline: func(b *testing.B) {
+			b.ReportAllocs()
+			s := phmm.NewScratch()
+			for i := 0; i < b.N; i++ {
+				phmm.EvaluateRegionScalarInto(regions[i%len(regions)], s)
+			}
+		},
+		optimized: func(b *testing.B) {
+			b.ReportAllocs()
+			s := phmm.NewScratch()
+			for i := 0; i < b.N; i++ {
+				phmm.EvaluateRegionInto(regions[i%len(regions)], s)
 			}
 		},
 	}
@@ -352,6 +549,44 @@ func abeaPair() pairSpec {
 			arena := scratch.New()
 			for i := 0; i < b.N; i++ {
 				abea.AlignInto(model, seq, events, cfg, arena)
+			}
+		},
+	}
+}
+
+// abeaLanesPair measures the lane-blocked band sweep (hoisted
+// emission tables, quad cell blocks) against the scalar per-cell
+// reference on nanopore-realistic read lengths.
+func abeaLanesPair() pairSpec {
+	rng := rand.New(rand.NewSource(54))
+	model := signalsim.NewPoreModel()
+	type rd struct {
+		seq    genome.Seq
+		events []signalsim.Event
+	}
+	reads := make([]rd, 6)
+	for i := range reads {
+		seq := genome.Random(rng, 800+rng.Intn(1200))
+		reads[i] = rd{seq: seq, events: signalsim.Simulate(rng, model, seq, signalsim.DefaultConfig())}
+	}
+	cfg := abea.DefaultConfig()
+	return pairSpec{
+		kernel: "abea", pair: "lanes",
+		baselineName: "abea/lanes/scalar", optimizedName: "abea/lanes/quad",
+		baseline: func(b *testing.B) {
+			b.ReportAllocs()
+			arena := scratch.New()
+			for i := 0; i < b.N; i++ {
+				r := reads[i%len(reads)]
+				abea.AlignInto(model, r.seq, r.events, cfg, arena)
+			}
+		},
+		optimized: func(b *testing.B) {
+			b.ReportAllocs()
+			arena := scratch.New()
+			for i := 0; i < b.N; i++ {
+				r := reads[i%len(reads)]
+				abea.AlignLanesInto(model, r.seq, r.events, cfg, arena)
 			}
 		},
 	}

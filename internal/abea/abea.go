@@ -282,15 +282,16 @@ func RunKernelCtx(ctx context.Context, model *signalsim.PoreModel, reads []signa
 		_     perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]ws, threads)
+	pool := scratch.PoolFrom(ctx) // nil pool hands out fresh arenas
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("cell updates")
-		workers[i].arena = scratch.New()
+		workers[i].arena = pool.Worker(i)
 	}
 	err := parallel.ForEachCtxErr(ctx, len(reads), threads, func(tctx context.Context, w, i int) error {
 		if err := faultinject.Point(tctx); err != nil {
 			return err
 		}
-		r := AlignInto(model, reads[i].Seq, reads[i].Events, cfg, workers[w].arena)
+		r := AlignLanesInto(model, reads[i].Seq, reads[i].Events, cfg, workers[w].arena)
 		workers[w].cells += r.CellUpdates
 		if r.OutOfBand {
 			workers[w].oob++

@@ -1,0 +1,308 @@
+package abea
+
+// Lane-blocked adaptive banded event alignment. AlignLanesInto
+// restructures AlignInto's per-cell loop the way the lane-batched
+// PairHMM pass restructures phmm (see internal/lanes): per read it
+// hoists the pore-model emission terms into per-k-mer-rank tables
+// (k-mer code, model mean/stdv, the log-stdv normalizer — all of
+// which the scalar path recomputes per cell, including a math.Log),
+// reverses the event means so every band-relative access is a
+// contiguous ascending gather, and then sweeps the in-band interior
+// in lane-width quad blocks with no per-cell bounds checks: within a
+// band every predecessor offset is the cell offset plus a constant
+// band shift, so the three dependencies become three shifted quad
+// loads against negInf-padded band buffers (the pads replay the
+// scalar path's out-of-band checks bit-for-bit).
+//
+// Unlike the PairHMM forward pass, the banded recurrence has no
+// within-band serial chain — stay/step/skip all read earlier bands —
+// so the quad sweep carries nothing across columns and the portable
+// Go form stays in registers without an assembly kernel.
+//
+// Numerics: every float expression replays the scalar path's
+// operations in the scalar order (the emission tables round exactly
+// once, in the same places), so scores, band movement, work counters
+// and trace behaviour are BIT-IDENTICAL to AlignInto — asserted, not
+// just bounded, by the differential tests. Bands the interval logic
+// cannot lane (the first two seed bands, band edges, ragged quad
+// tails) run the scalar per-cell body unchanged.
+
+import (
+	"math"
+
+	"repro/internal/genome"
+	"repro/internal/lanes"
+	"repro/internal/scratch"
+	"repro/internal/signalsim"
+)
+
+// logSqrt2Pi32 is signalsim's gaussian normalization constant at the
+// float32 precision the scalar emission uses.
+const logSqrt2Pi32 = float32(0.9189385332046727)
+
+var (
+	lpStayQ = lanes.Quad{A: lpStay, B: lpStay, C: lpStay, D: lpStay}
+	lpStepQ = lanes.Quad{A: lpStep, B: lpStep, C: lpStep, D: lpStep}
+	lpSkipQ = lanes.Quad{A: lpSkip, B: lpSkip, C: lpSkip, D: lpSkip}
+	halfNeg = lanes.Quad{A: -0.5, B: -0.5, C: -0.5, D: -0.5}
+	ls2piQ  = lanes.Quad{A: logSqrt2Pi32, B: logSqrt2Pi32, C: logSqrt2Pi32, D: logSqrt2Pi32}
+)
+
+// AlignLanes is AlignInto's lane-blocked twin with a temporary arena.
+func AlignLanes(model *signalsim.PoreModel, seq genome.Seq, events []signalsim.Event, cfg Config) Result {
+	return AlignLanesInto(model, seq, events, cfg, nil)
+}
+
+// AlignLanesInto runs the lane-blocked adaptive banded alignment into
+// a's reusable buffers. Results are bit-identical to AlignInto.
+func AlignLanesInto(model *signalsim.PoreModel, seq genome.Seq, events []signalsim.Event, cfg Config, a *scratch.Arena) Result {
+	if a == nil {
+		a = scratch.New()
+	}
+	a.Reset()
+	W := cfg.BandWidth
+	if W < 4 {
+		W = 4
+	}
+	nk := len(seq) - signalsim.K + 1
+	ne := len(events)
+	var res Result
+	if nk <= 0 || ne == 0 {
+		res.Score = negInf
+		return res
+	}
+
+	// Per-read emission tables: one gather per k-mer rank instead of a
+	// KmerCode walk plus math.Log per band cell. Each entry rounds
+	// exactly where the scalar path rounds, so emissions stay
+	// bit-identical.
+	muK := a.Float32s(nk)
+	sdK := a.Float32s(nk)
+	lsK := a.Float32s(nk)
+	genome.EachKmer(seq, signalsim.K, func(pos int, code uint64) {
+		muK[pos] = model.Mean[code]
+		sdK[pos] = model.Stdv[code]
+		lsK[pos] = float32(math.Log(float64(model.Stdv[code])))
+	})
+	// Reversed event means: cell o of a band at lower-left (e0,k0)
+	// reads event e0-o, so in reversed coordinates the band's event
+	// gather is contiguous and ascending, quad-loadable.
+	evRev := a.Float32s(ne)
+	for e := 0; e < ne; e++ {
+		evRev[ne-1-e] = events[e].Mean
+	}
+
+	nBands := ne + nk + 1
+	// Band buffers padded by one negInf sentinel on each side: shifted
+	// predecessor loads at the band rim land on the pads, which encode
+	// exactly the scalar path's "offset out of [0,W)" checks. Band
+	// cell o lives at buf[o+1].
+	prev := a.Float32s(W + 2)
+	prev2 := a.Float32s(W + 2)
+	cur := a.Float32s(W + 2)
+	for o := range prev {
+		prev[o], prev2[o], cur[o] = negInf, negInf, negInf
+	}
+	lle := a.Ints(nBands)
+	llk := a.Ints(nBands)
+	lle[0], llk[0] = -1+W/2, -1-W/2
+	prev2[W/2+1] = 0 // origin in band 0
+	lle[1], llk[1] = lle[0]+1, llk[0]
+	copy(cur, prev2)
+	prev, prev2 = cur, prev
+	cur = a.Float32s(W + 2)
+	cur[0], cur[W+1] = negInf, negInf
+
+	bestFinal := negInf
+	foundFinal := false
+	maxOffsetPrev := W / 2
+
+	for i := 1; i < nBands; i++ {
+		if i >= 2 {
+			if maxOffsetPrev >= W/2 {
+				lle[i], llk[i] = lle[i-1], llk[i-1]+1
+			} else {
+				lle[i], llk[i] = lle[i-1]+1, llk[i-1]
+			}
+		}
+		e0, k0 := lle[i], llk[i]
+
+		// Interior interval [oA, oB]: offsets whose (e, k) are both in
+		// range. Everything below oA has e >= ne or k < 0; everything
+		// above oB has k >= nk or e < 0 — all negInf except the single
+		// skip-only prefix cell at e == -1.
+		oA := 0
+		if v := e0 - ne + 1; v > oA {
+			oA = v
+		}
+		if v := -k0; v > oA {
+			oA = v
+		}
+		oB := W - 1
+		if e0 < oB {
+			oB = e0
+		}
+		if v := nk - 1 - k0; v < oB {
+			oB = v
+		}
+
+		if i < 2 || oB < oA {
+			// Seed bands and fully-out-of-band bands: scalar body.
+			maxOffsetPrev = scalarBand(i, W, ne, nk, lle, llk, prev, prev2, cur, evRev, muK, sdK, lsK, &res, &bestFinal, &foundFinal)
+			prev2, prev, cur = prev, cur, prev2
+			continue
+		}
+
+		// Edges: negInf except the e == -1 prefix cell.
+		for o := 0; o < oA; o++ {
+			cur[o+1] = negInf
+		}
+		for o := oB + 1; o < W; o++ {
+			cur[o+1] = negInf
+		}
+		if o := e0 + 1; o >= 0 && o < W {
+			if k := k0 + o; k >= -1 && k < nk {
+				// e == -1: skip-only prefix row (k == -1 stays negInf).
+				if k >= 0 {
+					cur[o+1] = lpSkip * float32(k+1)
+				}
+			}
+		}
+
+		// Constant band shifts: within band i, cell o's up/left
+		// predecessors sit at o+s1/o+s1-1 in band i-1 and its diagonal
+		// at o+s2 in band i-2.
+		s1 := lle[i-1] - e0 + 1
+		s2 := lle[i-2] - e0 + 1
+		eb := ne - 1 - e0 // evRev index of cell o = eb + o
+		kb := k0
+
+		res.CellUpdates += uint64(oB - oA + 1)
+		o := oA
+		for ; o+3 <= oB; o += 4 {
+			mu := lanes.Load4U(&muK[0], kb+o)
+			sd := lanes.Load4U(&sdK[0], kb+o)
+			ls := lanes.Load4U(&lsK[0], kb+o)
+			x := lanes.Load4U(&evRev[0], eb+o)
+			z := x.Sub(mu).Div(sd)
+			emit := halfNeg.Mul(z).Mul(z).Sub(ls).Sub(ls2piQ)
+			up := lanes.Load4U(&prev[0], o+s1+1)
+			left := lanes.Load4U(&prev[0], o+s1)
+			diag := lanes.Load4U(&prev2[0], o+s2+1)
+			stay := up.Add(lpStayQ).Add(emit)
+			step := diag.Add(lpStepQ).Add(emit)
+			skip := left.Add(lpSkipQ)
+			v := stay.Max(step).Max(skip)
+			lanes.Store4U(&cur[0], o+1, v)
+		}
+		// Ragged quad tail: the same expressions one cell at a time.
+		for ; o <= oB; o++ {
+			z := (evRev[eb+o] - muK[kb+o]) / sdK[kb+o]
+			emit := -0.5*z*z - lsK[kb+o] - logSqrt2Pi32
+			stay := prev[o+s1+1] + lpStay + emit
+			step := prev2[o+s2+1] + lpStep + emit
+			skip := prev[o+s1] + lpSkip
+			v := stay
+			if step > v {
+				v = step
+			}
+			if skip > v {
+				v = skip
+			}
+			cur[o+1] = v
+		}
+
+		// Band max: a post-pass with the scalar loop's strict-greater
+		// first-winner semantics (negInf cells can never win unless the
+		// whole band is negInf, in which case rowArg stays 0 — exactly
+		// the scalar outcome).
+		rowMax, rowArg := negInf, 0
+		for o := 0; o < W; o++ {
+			if cur[o+1] > rowMax {
+				rowMax = cur[o+1]
+				rowArg = o
+			}
+		}
+		maxOffsetPrev = rowArg
+
+		// Terminal cell: at most one offset per band can be (ne-1,nk-1).
+		if oF := e0 - (ne - 1); oF >= oA && oF <= oB && k0+oF == nk-1 {
+			foundFinal = true
+			if v := cur[oF+1]; v > bestFinal {
+				bestFinal = v
+			}
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	res.Score = bestFinal
+	res.OutOfBand = !foundFinal
+	res.Aligned = ne
+	return res
+}
+
+// scalarBand runs AlignInto's per-cell body for one band on the
+// padded buffers: the exact reference loop, used for the two seed
+// bands and bands with an empty lane interior. Returns the band's
+// argmax offset.
+func scalarBand(i, W, ne, nk int, lle, llk []int, prev, prev2, cur []float32,
+	evRev, muK, sdK, lsK []float32, res *Result, bestFinal *float32, foundFinal *bool) int {
+	rowMax := negInf
+	rowArg := 0
+	for o := 0; o < W; o++ {
+		e := lle[i] - o
+		k := llk[i] + o
+		if e < -1 || k < -1 || e >= ne || k >= nk || (e == -1 && k == -1) {
+			cur[o+1] = negInf
+			continue
+		}
+		if e == -1 {
+			cur[o+1] = lpSkip * float32(k+1)
+			if cur[o+1] > rowMax {
+				rowMax = cur[o+1]
+				rowArg = o
+			}
+			continue
+		}
+		if k == -1 {
+			cur[o+1] = negInf
+			continue
+		}
+		res.CellUpdates++
+		var up, left, diag float32 = negInf, negInf, negInf
+		if o2 := lle[i-1] - (e - 1); o2 >= 0 && o2 < W {
+			up = prev[o2+1]
+		}
+		if o2 := lle[i-1] - e; o2 >= 0 && o2 < W {
+			left = prev[o2+1]
+		}
+		if i >= 2 {
+			if o3 := lle[i-2] - (e - 1); o3 >= 0 && o3 < W {
+				diag = prev2[o3+1]
+			}
+		}
+		z := (evRev[ne-1-e] - muK[k]) / sdK[k]
+		emit := -0.5*z*z - lsK[k] - logSqrt2Pi32
+		stay := up + lpStay + emit
+		step := diag + lpStep + emit
+		skip := left + lpSkip
+		v := stay
+		if step > v {
+			v = step
+		}
+		if skip > v {
+			v = skip
+		}
+		cur[o+1] = v
+		if v > rowMax {
+			rowMax = v
+			rowArg = o
+		}
+		if e == ne-1 && k == nk-1 {
+			*foundFinal = true
+			if v > *bestFinal {
+				*bestFinal = v
+			}
+		}
+	}
+	return rowArg
+}

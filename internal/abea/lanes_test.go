@@ -1,0 +1,101 @@
+package abea
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/scratch"
+	"repro/internal/signalsim"
+)
+
+// TestAlignLanesBitIdentical pins the lane-blocked band sweep to the
+// scalar reference bit-for-bit: the restructuring only hoists and
+// reorders loads (emission tables, padded predecessor reads), never a
+// float operation, so there is no tolerance here — score, band path,
+// work counters and out-of-band behaviour must all agree exactly.
+func TestAlignLanesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	model := signalsim.NewPoreModel()
+	a := scratch.New()
+	cfgs := []Config{DefaultConfig(), {BandWidth: 16}, {BandWidth: 7}, {BandWidth: 2}}
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.Intn(400)
+		seq := genome.Random(rng, n)
+		simCfg := signalsim.DefaultConfig()
+		if trial%3 == 0 {
+			simCfg.NoiseScale = 3 // noisy reads wander the band
+		}
+		events := signalsim.Simulate(rng, model, seq, simCfg)
+		if trial%5 == 4 {
+			// Unrelated sequence: drives out-of-band terminations.
+			seq = genome.Random(rng, n)
+		}
+		cfg := cfgs[trial%len(cfgs)]
+		want := AlignInto(model, seq, events, cfg, nil)
+		got := AlignLanesInto(model, seq, events, cfg, a)
+		if math.Float32bits(got.Score) != math.Float32bits(want.Score) {
+			t.Fatalf("trial %d (W=%d): Score = %v, want %v (bit-exact)", trial, cfg.BandWidth, got.Score, want.Score)
+		}
+		if got.CellUpdates != want.CellUpdates {
+			t.Fatalf("trial %d (W=%d): CellUpdates = %d, want %d", trial, cfg.BandWidth, got.CellUpdates, want.CellUpdates)
+		}
+		if got.OutOfBand != want.OutOfBand || got.Aligned != want.Aligned {
+			t.Fatalf("trial %d: (OutOfBand, Aligned) = (%v, %d), want (%v, %d)",
+				trial, got.OutOfBand, got.Aligned, want.OutOfBand, want.Aligned)
+		}
+	}
+}
+
+// TestAlignLanesDegenerate mirrors the scalar degenerate cases.
+func TestAlignLanesDegenerate(t *testing.T) {
+	model := signalsim.NewPoreModel()
+	if r := AlignLanes(model, genome.MustFromString("ACG"), nil, DefaultConfig()); r.Score != negInf {
+		t.Error("short sequence should yield -inf")
+	}
+	rng := rand.New(rand.NewSource(32))
+	seq := genome.Random(rng, 50)
+	if r := AlignLanes(model, seq, nil, DefaultConfig()); r.Score != negInf {
+		t.Error("no events should yield -inf")
+	}
+}
+
+// TestAlignLanesZeroAlloc: steady-state alignment into a warm arena
+// must not touch the heap.
+func TestAlignLanesZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	model := signalsim.NewPoreModel()
+	seq := genome.Random(rng, 200)
+	events := signalsim.Simulate(rng, model, seq, signalsim.DefaultConfig())
+	a := scratch.New()
+	AlignLanesInto(model, seq, events, DefaultConfig(), a) // warm the arena
+	allocs := testing.AllocsPerRun(20, func() {
+		AlignLanesInto(model, seq, events, DefaultConfig(), a)
+	})
+	if allocs != 0 {
+		t.Fatalf("AlignLanesInto allocates %v/op on a warm arena, want 0", allocs)
+	}
+}
+
+func BenchmarkAlignLanes(b *testing.B) {
+	rng := rand.New(rand.NewSource(34))
+	model := signalsim.NewPoreModel()
+	seq := genome.Random(rng, 2000)
+	events := signalsim.Simulate(rng, model, seq, signalsim.DefaultConfig())
+	cfg := DefaultConfig()
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		a := scratch.New()
+		for i := 0; i < b.N; i++ {
+			AlignInto(model, seq, events, cfg, a)
+		}
+	})
+	b.Run("lanes", func(b *testing.B) {
+		b.ReportAllocs()
+		a := scratch.New()
+		for i := 0; i < b.N; i++ {
+			AlignLanesInto(model, seq, events, cfg, a)
+		}
+	})
+}

@@ -496,9 +496,10 @@ func RunKernelCtx(ctx context.Context, pairs []Pair, p Params, threads int) (Ker
 		_     perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]ws, threads)
+	pool := scratch.PoolFrom(ctx) // nil pool hands out fresh arenas
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("cell updates")
-		workers[i].arena = scratch.New()
+		workers[i].arena = pool.Worker(i)
 	}
 	// Alignments are fine-grained (sub-millisecond); chunked dispatch
 	// amortizes the shared-counter fetch across a few pairs per pull.

@@ -3,6 +3,7 @@ package chain
 import (
 	"context"
 	"math"
+	"math/bits"
 
 	"repro/internal/faultinject"
 	"repro/internal/parallel"
@@ -151,31 +152,56 @@ func ChainAnchors(anchors []Anchor, cfg Config) ([]Chain, uint64) {
 }
 
 func sortByScoreDesc(order []int, score []float64) {
-	// Standard library sort with a closure; isolated for reuse.
-	quickSort(order, func(a, b int) bool { return score[a] > score[b] })
+	// Introsort-style quicksort with a closure; isolated for reuse.
+	quickSort(order, func(a, b int) bool { return score[a] > score[b] }, 2*bits.Len(uint(len(order))))
 }
 
-func quickSort(xs []int, less func(a, b int) bool) {
-	if len(xs) < 2 {
-		return
+// quickSort is a depth-bounded Hoare quicksort. Skewed partitions —
+// duplicate-heavy score arrays are the common source, and every anchor
+// tie scores identically — burn the depth budget instead of the
+// goroutine stack: once it is spent the range falls back to insertion
+// sort, which is also the small-range finisher. Recursing on the
+// smaller half and looping on the larger keeps the stack O(log n)
+// even before the budget trips.
+func quickSort(xs []int, less func(a, b int) bool, depth int) {
+	for len(xs) > 12 {
+		if depth == 0 {
+			insertionSort(xs, less)
+			return
+		}
+		depth--
+		pivot := xs[len(xs)/2]
+		left, right := 0, len(xs)-1
+		for left <= right {
+			for less(xs[left], pivot) {
+				left++
+			}
+			for less(pivot, xs[right]) {
+				right--
+			}
+			if left <= right {
+				xs[left], xs[right] = xs[right], xs[left]
+				left++
+				right--
+			}
+		}
+		if right+1 < len(xs)-left {
+			quickSort(xs[:right+1], less, depth)
+			xs = xs[left:]
+		} else {
+			quickSort(xs[left:], less, depth)
+			xs = xs[:right+1]
+		}
 	}
-	pivot := xs[len(xs)/2]
-	left, right := 0, len(xs)-1
-	for left <= right {
-		for less(xs[left], pivot) {
-			left++
-		}
-		for less(pivot, xs[right]) {
-			right--
-		}
-		if left <= right {
-			xs[left], xs[right] = xs[right], xs[left]
-			left++
-			right--
+	insertionSort(xs, less)
+}
+
+func insertionSort(xs []int, less func(a, b int) bool) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && less(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}
-	quickSort(xs[:right+1], less)
-	quickSort(xs[left:], less)
 }
 
 // Task is one chaining work item: the anchors shared between one pair

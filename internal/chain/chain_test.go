@@ -236,3 +236,40 @@ func TestQuickSortOrdering(t *testing.T) {
 		}
 	}
 }
+
+// TestSortByScoreDescPathological: duplicate-heavy and pre-ordered
+// score arrays drove the unbounded quicksort into deeply skewed
+// recursion; the depth-bounded version must sort them all (all-equal
+// especially — every anchor tie scores identically) without leaning on
+// the goroutine stack, and still produce a descending permutation.
+func TestSortByScoreDescPathological(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 200_000
+	cases := map[string]func(i int) float64{
+		"all-equal": func(int) float64 { return 42 },
+		"ascending": func(i int) float64 { return float64(i) },
+		"descending": func(i int) float64 { return float64(n - i) },
+		"two-valued": func(i int) float64 { return float64(i & 1) },
+		"organ-pipe": func(i int) float64 { return float64(min(i, n-i)) },
+		"random":    func(int) float64 { return rng.Float64() },
+	}
+	for name, gen := range cases {
+		score := make([]float64, n)
+		order := make([]int, n)
+		for i := range score {
+			score[i] = gen(i)
+			order[i] = i
+		}
+		sortByScoreDesc(order, score)
+		seen := make([]bool, n)
+		for i, idx := range order {
+			if seen[idx] {
+				t.Fatalf("%s: index %d appears twice", name, idx)
+			}
+			seen[idx] = true
+			if i > 0 && score[order[i-1]] < score[idx] {
+				t.Fatalf("%s: order not descending at %d", name, i)
+			}
+		}
+	}
+}

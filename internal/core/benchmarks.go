@@ -218,7 +218,12 @@ func (b *phmmBench) Prepare(size Size, seed int64) {
 		// imbalance (phmm max/mean up to 1000x in the original).
 		hapLen := 120 + rng.Intn(180)
 		nReads := 4 + rng.Intn(12)
-		nHaps := 2 + rng.Intn(3)
+		// GATK's assembler emits up to maxNumHaplotypesInPopulation=128
+		// candidate haplotypes per active region; a typical indel-bearing
+		// region carries a few dozen. Spanning 4..32 keeps both the
+		// lane-batched path (>= 8 haplotypes) and the scalar small-region
+		// path (< 8) on the measured profile.
+		nHaps := 4 + rng.Intn(29)
 		// A few pathological regions (deep pileups over long haplotype
 		// sets) dominate, as in the paper's Figure 4 where phmm's max
 		// region needs ~1000x the mean computation.
@@ -226,7 +231,7 @@ func (b *phmmBench) Prepare(size Size, seed int64) {
 		case r < 0.02:
 			hapLen *= 8
 			nReads *= 25
-			nHaps = 5
+			nHaps = 48
 		case r < 0.07:
 			hapLen *= 3
 			nReads *= 6

@@ -9,6 +9,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/scratch"
 )
 
 // Status classifies a kernel's suite outcome.
@@ -112,6 +113,12 @@ func RunSuite(ctx context.Context, benches []Benchmark, cfg SuiteConfig) []Kerne
 		faultinject.SetLabel(info.Name)
 		o.SetLabel(info.Name)
 		kctx, kernelSpan := o.StartSpan(obs.WithLabel(sctx, info.Name), "kernel:"+info.Name)
+		// One scratch pool per kernel, installed OUTSIDE the resilience
+		// envelope: a retried attempt draws the same per-worker arenas
+		// its predecessor grew, so retries skip the cold-heap band and
+		// table allocations. Scoped per kernel (not per suite) so one
+		// kernel's peak scratch is released before the next runs.
+		kctx = scratch.WithPool(kctx, scratch.NewPool())
 		// Prepare runs inside the resilience envelope so a panic while
 		// building the dataset is isolated like a kernel panic; the
 		// prepared flag keeps retries from rebuilding it needlessly.

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/abea"
+	"repro/internal/genome"
+	"repro/internal/resilience"
+	"repro/internal/scratch"
+	"repro/internal/signalsim"
+)
+
+func abeaRetryDataset(t *testing.T) (*signalsim.PoreModel, []signalsim.SignalRead) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	model := signalsim.NewPoreModel()
+	src := genome.Random(rng, 4000)
+	reads := signalsim.SimulateReads(rng, model, src, 6, 300, 800, signalsim.DefaultConfig())
+	if len(reads) == 0 {
+		t.Fatal("no simulated reads")
+	}
+	return model, reads
+}
+
+// TestScratchPoolWarmRunAllocs: a kernel execution against a warm
+// context pool — what the second resilience attempt sees — must not
+// re-pay the per-worker band and table allocations a cold run makes.
+// The warm count is fixed bookkeeping (worker shards, task stats),
+// so it must come in far below the cold count, which grows with the
+// dataset.
+func TestScratchPoolWarmRunAllocs(t *testing.T) {
+	model, reads := abeaRetryDataset(t)
+	cfg := abea.DefaultConfig()
+	ctx := scratch.WithPool(context.Background(), scratch.NewPool())
+	if _, err := abea.RunKernelCtx(ctx, model, reads, cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	warm := testing.AllocsPerRun(5, func() {
+		if _, err := abea.RunKernelCtx(ctx, model, reads, cfg, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cold := testing.AllocsPerRun(5, func() {
+		if _, err := abea.RunKernelCtx(context.Background(), model, reads, cfg, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if warm >= cold/2 {
+		t.Fatalf("warm-pool run allocates %v/op vs cold %v/op: pool not reused", warm, cold)
+	}
+}
+
+// TestResilienceRetryReusesPool proves the plumbing end to end: a
+// pool installed outside resilience.Run hands the retry attempt the
+// exact arenas the failed attempt grew.
+func TestResilienceRetryReusesPool(t *testing.T) {
+	model, reads := abeaRetryDataset(t)
+	cfg := abea.DefaultConfig()
+	pool := scratch.NewPool()
+	ctx := scratch.WithPool(context.Background(), pool)
+	p := resilience.Default()
+	p.Sleep = func(context.Context, time.Duration) error { return nil }
+	attempt := 0
+	var firstArena *scratch.Arena
+	err := resilience.Run(ctx, "abea", p, func(actx context.Context) error {
+		attempt++
+		if _, err := abea.RunKernelCtx(actx, model, reads, cfg, 2); err != nil {
+			return err
+		}
+		if attempt == 1 {
+			firstArena = scratch.PoolFrom(actx).Worker(0)
+			return errors.New("transient failure after a full warm-up run")
+		}
+		if scratch.PoolFrom(actx).Worker(0) != firstArena {
+			t.Error("retry attempt drew a different worker-0 arena")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry should have succeeded: %v", err)
+	}
+	if attempt != 2 {
+		t.Fatalf("attempts = %d, want 2", attempt)
+	}
+}

@@ -1,0 +1,233 @@
+package lanes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randLane(rng *rand.Rand, scale float32) Lane8 {
+	var a [Width]float32
+	for l := range a {
+		a[l] = (rng.Float32() - 0.5) * 2 * scale
+	}
+	return FromArray(a)
+}
+
+// FromArray/Array/At must round-trip lane-for-lane; everything else in
+// this file leans on them as the lane accessors.
+func TestArrayRoundTrip(t *testing.T) {
+	in := [Width]float32{1, -2, 3.5, 0, 7, -8.25, 9, 1e-7}
+	a := FromArray(in)
+	if got := a.Array(); got != in {
+		t.Fatalf("Array() = %v, want %v", got, in)
+	}
+	for l := 0; l < Width; l++ {
+		if a.At(l) != in[l] {
+			t.Fatalf("At(%d) = %v, want %v", l, a.At(l), in[l])
+		}
+	}
+}
+
+func TestLoadStore8(t *testing.T) {
+	s := []float32{9, 1, 2, 3, 4, 5, 6, 7, 8, 10}
+	a := Load8(s, 1)
+	want := [Width]float32{1, 2, 3, 4, 5, 6, 7, 8}
+	if a.Array() != want {
+		t.Fatalf("Load8 = %v, want %v", a.Array(), want)
+	}
+	dst := make([]float32, 10)
+	Store8(dst, 2, a)
+	for l := 0; l < Width; l++ {
+		if dst[2+l] != want[l] {
+			t.Fatalf("Store8 lane %d = %v, want %v", l, dst[2+l], want[l])
+		}
+	}
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Fatal("Store8 wrote outside its span")
+	}
+}
+
+// Every element-wise helper must compute exactly the scalar expression
+// per lane: no reassociation, no widening.
+func TestElementwiseMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 200; trial++ {
+		a := randLane(rng, 100)
+		b := randLane(rng, 100)
+		av, bv := a.Array(), b.Array()
+		s := (rng.Float32() - 0.5) * 10
+		checks := []struct {
+			name string
+			got  Lane8
+			want func(l int) float32
+		}{
+			{"Add", a.Add(b), func(l int) float32 { return av[l] + bv[l] }},
+			{"Sub", a.Sub(b), func(l int) float32 { return av[l] - bv[l] }},
+			{"Mul", a.Mul(b), func(l int) float32 { return av[l] * bv[l] }},
+			{"Div", a.Div(b), func(l int) float32 { return av[l] / bv[l] }},
+			{"Scale", a.Scale(s), func(l int) float32 { return av[l] * s }},
+			{"AddS", a.AddS(s), func(l int) float32 { return av[l] + s }},
+			{"Max", a.Max(b), func(l int) float32 {
+				if bv[l] > av[l] {
+					return bv[l]
+				}
+				return av[l]
+			}},
+			{"Splat", Splat(s), func(int) float32 { return s }},
+		}
+		for _, c := range checks {
+			for l := 0; l < Width; l++ {
+				if want := c.want(l); c.got.At(l) != want {
+					t.Fatalf("trial %d: %s lane %d = %v, want %v", trial, c.name, l, c.got.At(l), want)
+				}
+			}
+		}
+	}
+}
+
+func TestBlendAndPick2(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 100; trial++ {
+		on := randLane(rng, 10)
+		off := randLane(rng, 10)
+		mask := uint8(rng.Intn(256))
+		got := Blend(mask, on, off)
+		for l := 0; l < Width; l++ {
+			want := off.At(l)
+			if mask>>uint(l)&1 != 0 {
+				want = on.At(l)
+			}
+			if got.At(l) != want {
+				t.Fatalf("Blend(%08b) lane %d = %v, want %v", mask, l, got.At(l), want)
+			}
+		}
+		x, y := rng.Float32(), rng.Float32()
+		p := Pick2(mask, x, y)
+		for l := 0; l < Width; l++ {
+			want := y
+			if mask>>uint(l)&1 != 0 {
+				want = x
+			}
+			if p.At(l) != want {
+				t.Fatalf("Pick2(%08b) lane %d = %v, want %v", mask, l, p.At(l), want)
+			}
+		}
+	}
+}
+
+// Sel must return bit-exactly one of its inputs, including signed
+// zeros and infinities — it is the primitive under every blend.
+func TestSelBitExact(t *testing.T) {
+	ninf := float32(math.Inf(-1))
+	cases := []struct{ on, off float32 }{
+		{1.5, -2.5},
+		{0, float32(math.Copysign(0, -1))},
+		{ninf, 3},
+		{1e-38, 1e38},
+	}
+	for _, c := range cases {
+		if got := Sel(1, c.on, c.off); math.Float32bits(got) != math.Float32bits(c.on) {
+			t.Fatalf("Sel(1, %v, %v) = %v, want on", c.on, c.off, got)
+		}
+		if got := Sel(0, c.on, c.off); math.Float32bits(got) != math.Float32bits(c.off) {
+			t.Fatalf("Sel(0, %v, %v) = %v, want off", c.on, c.off, got)
+		}
+	}
+}
+
+// HMax must land on the FIRST maximal lane (strict-greater updates),
+// the tie convention the adaptive band's argmax depends on.
+func TestHMaxFirstWinnerOnTies(t *testing.T) {
+	a := FromArray([Width]float32{1, 3, 3, 2, 3, 0, -1, 3})
+	m, arg := a.HMax()
+	if m != 3 || arg != 1 {
+		t.Fatalf("HMax = (%v, %d), want (3, 1)", m, arg)
+	}
+	neg := Splat(float32(math.Inf(-1)))
+	if m, arg := neg.HMax(); arg != 0 || !math.IsInf(float64(m), -1) {
+		t.Fatalf("all -inf HMax = (%v, %d), want (-inf, 0)", m, arg)
+	}
+}
+
+func TestHSumOrder(t *testing.T) {
+	a := FromArray([Width]float32{1e-7, 1, 2, 3, 4, 5, 6, 1e7})
+	av := a.Array()
+	want := ((av[0] + av[1]) + (av[2] + av[3])) + ((av[4] + av[5]) + (av[6] + av[7]))
+	if got := a.HSum(); got != want {
+		t.Fatalf("HSum = %v, want %v (pairwise sum)", got, want)
+	}
+}
+
+// The committed contract: LogSumExpApprox is within LogSumExpMaxError
+// (natural-log units) of the exact float64 log(exp(a)+exp(b)), over a
+// dense grid spanning the table domain and beyond the cutoff.
+func TestLogSumExpErrorBound(t *testing.T) {
+	worst := 0.0
+	for a := -40.0; a <= 5.0; a += 0.037 {
+		for d := 0.0; d <= 25.0; d += 0.043 {
+			b := a - d
+			exact := math.Log(math.Exp(a) + math.Exp(b))
+			got := float64(LogSumExp1(float32(a), float32(b)))
+			if err := math.Abs(got - exact); err > worst {
+				worst = err
+			}
+			// Symmetry: order of arguments must not matter.
+			if sym := LogSumExp1(float32(b), float32(a)); sym != LogSumExp1(float32(a), float32(b)) {
+				t.Fatalf("LogSumExp1 asymmetric at (%v, %v)", a, b)
+			}
+		}
+	}
+	if worst > LogSumExpMaxError {
+		t.Fatalf("worst log-sum-exp error %.2e exceeds committed bound %.2e", worst, LogSumExpMaxError)
+	}
+	t.Logf("worst error %.2e (bound %.2e)", worst, LogSumExpMaxError)
+}
+
+func TestLogSumExpInfinities(t *testing.T) {
+	ninf := float32(math.Inf(-1))
+	if got := LogSumExp1(ninf, 2); got != 2 {
+		t.Fatalf("lse(-inf, 2) = %v, want 2", got)
+	}
+	if got := LogSumExp1(2, ninf); got != 2 {
+		t.Fatalf("lse(2, -inf) = %v, want 2", got)
+	}
+	if got := LogSumExp1(ninf, ninf); !math.IsInf(float64(got), -1) {
+		t.Fatalf("lse(-inf, -inf) = %v, want -inf", got)
+	}
+	a := FromArray([Width]float32{0, 1, ninf, 2, ninf, -3, 4, 5})
+	b := FromArray([Width]float32{0, ninf, 1, 2, ninf, -3, 3, 8})
+	got := LogSumExpApprox(a, b)
+	for l := 0; l < Width; l++ {
+		if want := LogSumExp1(a.At(l), b.At(l)); got.At(l) != want {
+			t.Fatalf("lane %d = %v, want %v", l, got.At(l), want)
+		}
+	}
+}
+
+// The lane ops the DP inner loops compose must stay allocation-free.
+func TestLaneOpsZeroAlloc(t *testing.T) {
+	a := Splat(1.5)
+	b := Splat(2.5)
+	var sink Lane8
+	n := testing.AllocsPerRun(100, func() {
+		m := a.Scale(0.25).Add(b.Scale(0.5)).Mul(b)
+		m = m.Max(b.AddS(-1))
+		m = Blend(0xa5, m, b)
+		sink = m.Add(LogSumExpApprox(a, b))
+	})
+	_ = sink
+	if n != 0 {
+		t.Fatalf("AllocsPerRun = %v, want 0", n)
+	}
+}
+
+func BenchmarkLaneMulAddChain(b *testing.B) {
+	x := Splat(1.00001)
+	y := Splat(0.99999)
+	acc := Splat(1)
+	for i := 0; i < b.N; i++ {
+		acc = acc.Mul(x).Add(y.Scale(1e-9))
+	}
+	_ = acc
+}

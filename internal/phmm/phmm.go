@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/genome"
+	"repro/internal/lanes"
 	"repro/internal/parallel"
 	"repro/internal/perf"
 	"repro/internal/scratch"
@@ -165,6 +166,14 @@ type Scratch struct {
 	rows64      [6][]float64
 	bestHap     []int
 	likelihoods []float64
+
+	// Lane-batched state (lanes.go): grouped haplotype layouts, the
+	// per-lane packed haplotype words, and the lane DP rows — flat
+	// float32 with a stride of lanes.Width per column, swept four
+	// lanes at a time (see forwardQuad).
+	groups   []laneGroup
+	packs    [lanes.Width][]uint64
+	laneRows [6][]float32
 }
 
 // NewScratch returns an empty Scratch; buffers grow on first use.
@@ -218,13 +227,27 @@ type RegionResult struct {
 
 // EvaluateRegion runs all pairwise alignments of one region.
 func EvaluateRegion(rg *Region) RegionResult {
-	return EvaluateRegionInto(rg, nil)
+	return EvaluateRegionScalarInto(rg, nil)
 }
 
 // EvaluateRegionInto is EvaluateRegion computing into s's reusable
 // storage; the returned slices are owned by s and valid until the next
-// call. A nil s allocates fresh output slices.
+// call. A nil s allocates fresh output slices. Regions with at least
+// eight haplotypes take the lane-batched forward pass (lanes.go):
+// results match the scalar reference within laneTolerance per
+// likelihood (bit-identical on amd64) with exact cell counters.
 func EvaluateRegionInto(rg *Region, s *Scratch) RegionResult {
+	if s != nil && len(rg.Haps) >= lanes.Width {
+		return evaluateRegionLanes(rg, s)
+	}
+	return EvaluateRegionScalarInto(rg, s)
+}
+
+// EvaluateRegionScalarInto is the scalar reference path: one forward
+// pass per (read, haplotype) pair. It backs the lane path's
+// differential tests and serves as the baseline side of the
+// phmm/lanes benchmark pair.
+func EvaluateRegionScalarInto(rg *Region, s *Scratch) RegionResult {
 	nr, nh := len(rg.Reads), len(rg.Haps)
 	var res RegionResult
 	if s != nil {
@@ -292,9 +315,10 @@ func RunKernelCtx(ctx context.Context, regions []*Region, threads int) (KernelRe
 		_         perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]ws, threads)
+	pool := scratch.PoolFrom(ctx) // nil pool hands out fresh scratch
 	for i := range workers {
 		workers[i].stats = perf.NewTaskStats("cell updates")
-		workers[i].scratch = NewScratch()
+		workers[i].scratch = pool.WorkerState(i, func() any { return NewScratch() }).(*Scratch)
 	}
 	err := parallel.ForEachCtxErr(ctx, len(regions), threads, func(tctx context.Context, w, i int) error {
 		if err := faultinject.Point(tctx); err != nil {

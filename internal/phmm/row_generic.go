@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package phmm
+
+// haveRowAsm reports whether rowLanes dispatches to an assembly
+// kernel on this architecture.
+const haveRowAsm = false
+
+// rowLanes advances all eight lanes of one read position on the
+// portable path: two register-blocked quad sweeps.
+func rowLanes(rowMask []uint8, priorMatch, priorMismatch float32,
+	prevM, prevI, prevD, curM, curI, curD []float32, n int) {
+	rowQuad(rowMask, priorMatch, priorMismatch,
+		&prevM[0], &prevI[0], &prevD[0], &curM[0], &curI[0], &curD[0], n, 0)
+	rowQuad(rowMask, priorMatch, priorMismatch,
+		&prevM[0], &prevI[0], &prevD[0], &curM[0], &curI[0], &curD[0], n, 4)
+}

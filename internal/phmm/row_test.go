@@ -1,0 +1,59 @@
+package phmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lanes"
+)
+
+// TestRowLanesMatchesRowQuad pins the architecture-dispatched row
+// kernel (SSE2 assembly on amd64) to the pure-Go quad sweeps,
+// bit-for-bit: both replay the same per-lane operations in the same
+// rounding order, so there is no tolerance here.
+func TestRowLanesMatchesRowQuad(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(67)
+		w := (n + 1) * lanes.Width
+		mk := func() []float32 {
+			s := make([]float32, w)
+			for i := range s {
+				s[i] = rng.Float32() * 1e3
+			}
+			return s
+		}
+		prevM, prevI, prevD := mk(), mk(), mk()
+		mask := make([]uint8, n)
+		for i := range mask {
+			mask[i] = uint8(rng.Intn(256))
+		}
+		priorMatch := 1 - rng.Float32()*0.1
+		priorMismatch := rng.Float32() * 0.03
+
+		gotM, gotI, gotD := mk(), mk(), mk()
+		rowLanes(mask, priorMatch, priorMismatch,
+			prevM, prevI, prevD, gotM, gotI, gotD, n)
+
+		wantM, wantI, wantD := mk(), mk(), mk()
+		for base := 0; base <= 4; base += 4 {
+			rowQuad(mask, priorMatch, priorMismatch,
+				&prevM[0], &prevI[0], &prevD[0],
+				&wantM[0], &wantI[0], &wantD[0], n, base)
+		}
+
+		for name, pair := range map[string][2][]float32{
+			"M": {gotM, wantM}, "I": {gotI, wantI}, "D": {gotD, wantD},
+		} {
+			got, want := pair[0], pair[1]
+			for o := 0; o < (n+1)*lanes.Width; o++ {
+				if math.Float32bits(got[o]) != math.Float32bits(want[o]) {
+					t.Fatalf("trial %d (n=%d, asm=%v): row %s[%d] = %x, want %x",
+						trial, n, haveRowAsm, name, o,
+						math.Float32bits(got[o]), math.Float32bits(want[o]))
+				}
+			}
+		}
+	}
+}

@@ -47,6 +47,7 @@ func SimulateAlignments(rng *rand.Rand, ref genome.Seq, n int, cfg AlignSimConfi
 		pos := rng.Intn(len(ref) - length)
 		a := simulateOne(rng, ref, pos, length, &cfg)
 		a.ReadName = "aln-" + itoa(i)
+		a.Pack()
 		out = append(out, a)
 	}
 	return out

@@ -115,6 +115,7 @@ func ReadSAM(r io.Reader) ([]*Alignment, error) {
 		if err := a.Validate(); err != nil {
 			return nil, err
 		}
+		a.Pack()
 		out = append(out, a)
 	}
 	if err := sc.Err(); err != nil {

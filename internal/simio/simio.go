@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/genome"
+	"repro/internal/seq2"
 )
 
 // StreamError reports a failure partway through a sequence stream —
@@ -305,7 +306,24 @@ type Alignment struct {
 	Seq      genome.Seq
 	Qual     []byte
 	Reverse  bool
+
+	// packed is Seq in the 2-bit internal/seq2 layout, filled by Pack.
+	// Real BAM records carry packed bases natively; packing once at
+	// record construction lets consumers (pileup's match-run counter)
+	// walk words instead of bytes without per-use packing cost.
+	packed []uint64
 }
+
+// Pack stores Seq's 2-bit packed form on the record. Call it once
+// after construction (SimulateAlignments does); concurrent readers of
+// a shared record must not race with it.
+func (a *Alignment) Pack() {
+	a.packed = seq2.PackInto(a.packed, a.Seq).WordsSlice()
+}
+
+// PackedSeq returns the packed words filled by Pack, or nil when the
+// record was never packed (consumers fall back to byte walks).
+func (a *Alignment) PackedSeq() []uint64 { return a.packed }
 
 // Validate checks internal consistency of the record.
 func (a *Alignment) Validate() error {
