@@ -168,8 +168,8 @@ func metricsOf(name string, r testing.BenchmarkResult) benchjson.Metrics {
 func allPairs(threads int) []pairSpec {
 	pairs := []pairSpec{
 		bswPair(), phmmPair(), phmmLanesPair(), kmercntPair(),
-		fmindexPair(), poaPair(), abeaPair(), abeaLanesPair(), dbgPair(),
-		pileupPair(), grmPair(),
+		fmindexPair(), poaPair(), poaLanesPair(), abeaPair(),
+		abeaLanesPair(), dbgPair(), pileupPair(), grmPair(),
 	}
 	return append(pairs, threadsPairs(threads)...)
 }
@@ -517,6 +517,47 @@ func poaPair() pairSpec {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				poa.ConsensusOf(windows[i%len(windows)], p)
+			}
+		},
+		optimized: func(b *testing.B) {
+			b.ReportAllocs()
+			g := poa.New()
+			for i := 0; i < b.N; i++ {
+				poa.ConsensusInto(windows[i%len(windows)], p, g)
+			}
+		},
+	}
+}
+
+// poaLanesPair measures the int16 lane-batched partial-order DP (CSR
+// snapshot + SWAR match masks, 8 columns per step) against the scalar
+// per-cell sweep. Both sides run the full consensus over a pooled
+// graph so the pair isolates the alignment core, the windows mirroring
+// Racon's geometry (a few hundred bases, a handful of noisy reads).
+func poaLanesPair() pairSpec {
+	rng := rand.New(rand.NewSource(45))
+	windows := make([]*poa.Window, 8)
+	for i := range windows {
+		base := genome.Random(rng, 100+rng.Intn(200))
+		w := &poa.Window{}
+		for s := 0; s < 4+rng.Intn(4); s++ {
+			seq := base.Clone()
+			for k := 0; k < len(seq)/15+1; k++ {
+				seq[rng.Intn(len(seq))] = genome.Base(rng.Intn(4))
+			}
+			w.Sequences = append(w.Sequences, seq)
+		}
+		windows[i] = w
+	}
+	p := poa.DefaultParams()
+	return pairSpec{
+		kernel: "poa", pair: "lanes",
+		baselineName: "poa/lanes/scalar", optimizedName: "poa/lanes/lane8",
+		baseline: func(b *testing.B) {
+			b.ReportAllocs()
+			g := poa.New()
+			for i := 0; i < b.N; i++ {
+				poa.ConsensusScalarInto(windows[i%len(windows)], p, g)
 			}
 		},
 		optimized: func(b *testing.B) {

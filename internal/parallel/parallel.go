@@ -193,6 +193,15 @@ func ForEachCtx(ctx context.Context, n, threads int, fn func(worker, task int)) 
 // everything except panics and surfaces as the parent's cause
 // (context.Canceled or context.DeadlineExceeded).
 func ForEachCtxErr(ctx context.Context, n, threads int, fn func(ctx context.Context, worker, task int) error) error {
+	return errDispatch(ctx, n, threads, fn, ForEachCtx)
+}
+
+// errDispatch adapts any plain scheduler (ForEachCtx-shaped run
+// function) to the error-returning task contract; ForEachCtxErr and
+// ForEachStealingErr share it so the subtle error/panic/cancellation
+// precedence lives in exactly one place.
+func errDispatch(ctx context.Context, n, threads int, fn func(ctx context.Context, worker, task int) error,
+	run func(ctx context.Context, n, threads int, fn func(worker, task int)) error) error {
 	cctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	// The first task error is recorded here, not recovered from
@@ -201,7 +210,7 @@ func ForEachCtxErr(ctx context.Context, n, threads int, fn func(ctx context.Cont
 	// cause slot cannot distinguish that from a plain cancellation.
 	var errOnce sync.Once
 	var taskErr error
-	err := ForEachCtx(cctx, n, threads, func(worker, task int) {
+	err := run(cctx, n, threads, func(worker, task int) {
 		if e := fn(cctx, worker, task); e != nil {
 			errOnce.Do(func() { taskErr = e })
 			cancel(e)

@@ -35,8 +35,13 @@ package phmm
 // use the scalar float32 path unchanged.
 //
 // On amd64 the per-row update dispatches to an SSE2 assembly kernel
-// (row_amd64.s) that is bit-identical to the pure-Go quad sweeps —
-// the portable path below is the reference it is tested against.
+// (row_amd64.s), and on arm64 to a NEON kernel (row_arm64.s); both are
+// bit-identical to the pure-Go quad sweeps — the portable path below
+// is the reference they are tested against. To keep that contract on
+// arm64, rowQuad is written fusion-free: every multiply feeding an add
+// goes through an explicit float32 conversion, which the Go spec
+// forbids the compiler from fusing into a single-rounding FMA. The
+// conversions are no-ops on amd64.
 
 import (
 	"math"
@@ -216,6 +221,14 @@ func forwardLanes(read genome.Seq, qual []byte, grp *laneGroup, rows *[6][]float
 // reassociates one addition per cell, which is why the lane contract
 // is laneTolerance rather than bit-identity (see that constant's
 // derivation).
+//
+// Every a*b + c*d in this function is written with explicit float32
+// conversions around the products (inline for the table-indexed M
+// update, via Quad.ScaleAdd2 for the I/D updates). The conversions
+// pin each product to a separate rounding, so the arm64 compiler may
+// not fuse them into FMAs — this is what lets the NEON kernel in
+// row_arm64.s (which rounds every product and sum separately) be
+// bit-identical to this reference. On amd64 they are no-ops.
 func rowQuad(rowMask []uint8, priorMatch, priorMismatch float32,
 	pPM, pPI, pPD, pCM, pCI, pCD *float32, n, base int) {
 	tgo, tge := tmi32, tii32
@@ -253,15 +266,15 @@ func rowQuad(rowMask []uint8, priorMatch, priorMismatch float32,
 		mb := uint32(rowMask[j-1]) >> base
 		g := pI.Add(pDd)
 		mj := lanes.Quad{
-			A: pM.A*prM[mb&1] + g.A*prG[mb&1],
-			B: pM.B*prM[mb>>1&1] + g.B*prG[mb>>1&1],
-			C: pM.C*prM[mb>>2&1] + g.C*prG[mb>>2&1],
-			D: pM.D*prM[mb>>3&1] + g.D*prG[mb>>3&1],
+			A: float32(pM.A*prM[mb&1]) + float32(g.A*prG[mb&1]),
+			B: float32(pM.B*prM[mb>>1&1]) + float32(g.B*prG[mb>>1&1]),
+			C: float32(pM.C*prM[mb>>2&1]) + float32(g.C*prG[mb>>2&1]),
+			D: float32(pM.D*prM[mb>>3&1]) + float32(g.D*prG[mb>>3&1]),
 		}
 		pM = lanes.Load4U(pPM, o)
 		pI = lanes.Load4U(pPI, o)
-		ij := pM.Scale(tgo).Add(pI.Scale(tge))
-		dj := lastM.Scale(tgo).Add(lastD.Scale(tge))
+		ij := pM.ScaleAdd2(tgo, pI, tge)
+		dj := lastM.ScaleAdd2(tgo, lastD, tge)
 		lanes.Store4U(pCM, o, mj)
 		lanes.Store4U(pCI, o, ij)
 		lanes.Store4U(pCD, o, dj)
@@ -270,15 +283,15 @@ func rowQuad(rowMask []uint8, priorMatch, priorMismatch float32,
 		mb2 := uint32(rowMask[j]) >> base
 		g2 := pI.Add(pDd2)
 		mj2 := lanes.Quad{
-			A: pM.A*prM[mb2&1] + g2.A*prG[mb2&1],
-			B: pM.B*prM[mb2>>1&1] + g2.B*prG[mb2>>1&1],
-			C: pM.C*prM[mb2>>2&1] + g2.C*prG[mb2>>2&1],
-			D: pM.D*prM[mb2>>3&1] + g2.D*prG[mb2>>3&1],
+			A: float32(pM.A*prM[mb2&1]) + float32(g2.A*prG[mb2&1]),
+			B: float32(pM.B*prM[mb2>>1&1]) + float32(g2.B*prG[mb2>>1&1]),
+			C: float32(pM.C*prM[mb2>>2&1]) + float32(g2.C*prG[mb2>>2&1]),
+			D: float32(pM.D*prM[mb2>>3&1]) + float32(g2.D*prG[mb2>>3&1]),
 		}
 		pM = lanes.Load4U(pPM, o+lanes.Width)
 		pI = lanes.Load4U(pPI, o+lanes.Width)
-		ij2 := pM.Scale(tgo).Add(pI.Scale(tge))
-		dj2 := mj.Scale(tgo).Add(dj.Scale(tge))
+		ij2 := pM.ScaleAdd2(tgo, pI, tge)
+		dj2 := mj.ScaleAdd2(tgo, dj, tge)
 		lanes.Store4U(pCM, o+lanes.Width, mj2)
 		lanes.Store4U(pCI, o+lanes.Width, ij2)
 		lanes.Store4U(pCD, o+lanes.Width, dj2)
@@ -292,15 +305,15 @@ func rowQuad(rowMask []uint8, priorMatch, priorMismatch float32,
 		mb := uint32(rowMask[j-1]) >> base
 		g := pI.Add(pDd)
 		mj := lanes.Quad{
-			A: pM.A*prM[mb&1] + g.A*prG[mb&1],
-			B: pM.B*prM[mb>>1&1] + g.B*prG[mb>>1&1],
-			C: pM.C*prM[mb>>2&1] + g.C*prG[mb>>2&1],
-			D: pM.D*prM[mb>>3&1] + g.D*prG[mb>>3&1],
+			A: float32(pM.A*prM[mb&1]) + float32(g.A*prG[mb&1]),
+			B: float32(pM.B*prM[mb>>1&1]) + float32(g.B*prG[mb>>1&1]),
+			C: float32(pM.C*prM[mb>>2&1]) + float32(g.C*prG[mb>>2&1]),
+			D: float32(pM.D*prM[mb>>3&1]) + float32(g.D*prG[mb>>3&1]),
 		}
 		pM = lanes.Load4U(pPM, o)
 		pI = lanes.Load4U(pPI, o)
-		ij := pM.Scale(tgo).Add(pI.Scale(tge))
-		dj := lastM.Scale(tgo).Add(lastD.Scale(tge))
+		ij := pM.ScaleAdd2(tgo, pI, tge)
+		dj := lastM.ScaleAdd2(tgo, lastD, tge)
 		lanes.Store4U(pCM, o, mj)
 		lanes.Store4U(pCI, o, ij)
 		lanes.Store4U(pCD, o, dj)

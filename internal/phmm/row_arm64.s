@@ -1,0 +1,187 @@
+// NEON kernel for the lane-batched PairHMM row update. See row_asm.go
+// for the contract: bit-identical to two pure-Go rowQuad sweeps (same
+// per-lane operations in the same rounding order — rowQuad is written
+// fusion-free specifically so this holds on arm64).
+//
+// The Go arm64 assembler exposes no packed FMUL/FADD mnemonics, so the
+// kernel builds both from FMLA (Vd += Vn*Vm, one rounding):
+//
+//   a*b  ==  FMLA into a zeroed register: round(0 + a*b) == round(a*b)
+//            for the forward pass's non-negative operands (a*b is
+//            never -0, the only case where adding +0 changes the bits)
+//   x+y  ==  FMLA with a broadcast 1.0:   round(x + y*1.0) == round(x+y)
+//            unconditionally (y*1.0 is exact)
+//
+// Prior selection is an xor-select through the shared blendTab entry:
+// prior = (diff AND mask) XOR mism, with diff = match XOR mism
+// precomputed once — all-ones mask yields match, all-zeros yields
+// mism, bit-exactly, without needing a bit-clear or blend mnemonic.
+//
+// Register plan:
+//   V0  tgo (broadcast)       V13-V17 prev-row loads, lo quad
+//   V1  tge (broadcast)       V20-V24 prev-row loads, hi quad
+//   V3  prMismM (broadcast)   V10-V12, V18, V19, V25 transients
+//   V5  prMismG (broadcast)   V26/V27 lastM/lastD lo
+//   V6  diffM = prMatchM^prMismM    V28/V29 lastM/lastD hi
+//   V7  diffG = prMatchG^prMismG    V30 1.0 (broadcast)
+//   R1/R2/R3 prev M/I/D   R4/R5/R6 cur M/I/D
+//   R7 mask cursor  R8 blend table  R9 columns left
+//   R10/R11/R12 scratch
+//
+// Column j (1-based) lives at byte offset j*32; the lo quad at +0, the
+// hi quad at +16. The prev-row pointers walk one column behind (they
+// point at column j-1 when iteration j begins) so the diagonal loads
+// post-increment them and the straight-up loads read at +0/+16; the
+// cur-row pointers walk at column j and every store post-increments.
+
+#include "textflag.h"
+
+TEXT ·rowLanesAsm(SB), NOSPLIT, $0-8
+	MOVD a+0(FP), R0
+	MOVD 0(R0), R1   // pPM
+	MOVD 8(R0), R2   // pPI
+	MOVD 16(R0), R3  // pPD
+	MOVD 24(R0), R4  // pCM
+	MOVD 32(R0), R5  // pCI
+	MOVD 40(R0), R6  // pCD
+	MOVD 48(R0), R7  // mask
+	MOVD 56(R0), R8  // blend table
+	MOVD 64(R0), R9  // n
+
+	FMOVS 88(R0), F0 // tgo
+	VDUP  V0.S[0], V0.S4
+	FMOVS 92(R0), F1 // tge
+	VDUP  V1.S[0], V1.S4
+	FMOVS 72(R0), F2 // prMatchM
+	VDUP  V2.S[0], V2.S4
+	FMOVS 76(R0), F3 // prMismM
+	VDUP  V3.S[0], V3.S4
+	FMOVS 80(R0), F4 // prMatchG
+	VDUP  V4.S[0], V4.S4
+	FMOVS 84(R0), F5 // prMismG
+	VDUP  V5.S[0], V5.S4
+	VEOR  V3.B16, V2.B16, V6.B16 // diffM
+	VEOR  V5.B16, V4.B16, V7.B16 // diffG
+	FMOVS $1.0, F30
+	VDUP  V30.S[0], V30.S4       // 1.0 broadcast (FMLA add trick)
+
+	// Column 0 of the current rows is the DP boundary: all zero. The
+	// post-incrementing stores leave the cur pointers at column 1.
+	VEOR   V16.B16, V16.B16, V16.B16
+	VST1.P [V16.S4], 16(R4)
+	VST1.P [V16.S4], 16(R4)
+	VST1.P [V16.S4], 16(R5)
+	VST1.P [V16.S4], 16(R5)
+	VST1.P [V16.S4], 16(R6)
+	VST1.P [V16.S4], 16(R6)
+
+	// D chains start at the boundary zeros.
+	VEOR V26.B16, V26.B16, V26.B16
+	VEOR V27.B16, V27.B16, V27.B16
+	VEOR V28.B16, V28.B16, V28.B16
+	VEOR V29.B16, V29.B16, V29.B16
+
+	CMP $0, R9
+	BLE done
+
+loop:
+	MOVBU.P 1(R7), R12 // mb = mask[j-1]
+
+	// Diagonal loads post-increment the prev pointers to column j;
+	// straight-up loads then read at +0/+16 without advancing.
+	VLD1.P 16(R1), [V13.S4] // pMd lo
+	VLD1.P 16(R1), [V20.S4] // pMd hi
+	VLD1   (R1), [V14.S4]   // pMu lo
+	ADD    $16, R1, R11
+	VLD1   (R11), [V21.S4]  // pMu hi
+	VLD1.P 16(R2), [V15.S4] // pId lo
+	VLD1.P 16(R2), [V22.S4] // pId hi
+	VLD1   (R2), [V16.S4]   // pIu lo
+	ADD    $16, R2, R11
+	VLD1   (R11), [V23.S4]  // pIu hi
+	VLD1.P 16(R3), [V17.S4] // pDd lo
+	VLD1.P 16(R3), [V24.S4] // pDd hi
+
+	// ---------- lo quad (lanes 0-3, nibble mb&15) ----------
+	AND  $15, R12, R10
+	LSL  $4, R10, R10
+	ADD  R8, R10, R10
+	VLD1 (R10), [V10.S4] // lane-select mask
+
+	// prM = mask ? prMatchM : prMismM ; prG likewise (xor-select).
+	VAND V6.B16, V10.B16, V11.B16
+	VEOR V3.B16, V11.B16, V11.B16 // V11 = prM
+	VAND V7.B16, V10.B16, V12.B16
+	VEOR V5.B16, V12.B16, V12.B16 // V12 = prG
+
+	// mj = pMd*prM + (pId+pDd)*prG
+	VMOV  V15.B16, V18.B16
+	VFMLA V17.S4, V30.S4, V18.S4 // V18 = pId + pDd
+	VEOR  V19.B16, V19.B16, V19.B16
+	VFMLA V13.S4, V11.S4, V19.S4 // V19 = pMd*prM
+	VEOR  V25.B16, V25.B16, V25.B16
+	VFMLA V18.S4, V12.S4, V25.S4 // V25 = (pId+pDd)*prG
+	VFMLA V25.S4, V30.S4, V19.S4 // V19 = mj
+
+	// ij = pMu*tgo + pIu*tge
+	VEOR  V18.B16, V18.B16, V18.B16
+	VFMLA V14.S4, V0.S4, V18.S4
+	VEOR  V25.B16, V25.B16, V25.B16
+	VFMLA V16.S4, V1.S4, V25.S4
+	VFMLA V25.S4, V30.S4, V18.S4 // V18 = ij
+
+	// dj = lastM*tgo + lastD*tge
+	VEOR  V25.B16, V25.B16, V25.B16
+	VFMLA V26.S4, V0.S4, V25.S4
+	VEOR  V10.B16, V10.B16, V10.B16
+	VFMLA V27.S4, V1.S4, V10.S4
+	VFMLA V10.S4, V30.S4, V25.S4 // V25 = dj
+
+	VST1.P [V19.S4], 16(R4)
+	VST1.P [V18.S4], 16(R5)
+	VST1.P [V25.S4], 16(R6)
+	VMOV   V19.B16, V26.B16 // lastM lo
+	VMOV   V25.B16, V27.B16 // lastD lo
+
+	// ---------- hi quad (lanes 4-7, nibble mb>>4) ----------
+	LSR  $4, R12, R10
+	LSL  $4, R10, R10
+	ADD  R8, R10, R10
+	VLD1 (R10), [V10.S4]
+
+	VAND V6.B16, V10.B16, V11.B16
+	VEOR V3.B16, V11.B16, V11.B16
+	VAND V7.B16, V10.B16, V12.B16
+	VEOR V5.B16, V12.B16, V12.B16
+
+	VMOV  V22.B16, V18.B16
+	VFMLA V24.S4, V30.S4, V18.S4
+	VEOR  V19.B16, V19.B16, V19.B16
+	VFMLA V20.S4, V11.S4, V19.S4
+	VEOR  V25.B16, V25.B16, V25.B16
+	VFMLA V18.S4, V12.S4, V25.S4
+	VFMLA V25.S4, V30.S4, V19.S4 // mj hi
+
+	VEOR  V18.B16, V18.B16, V18.B16
+	VFMLA V21.S4, V0.S4, V18.S4
+	VEOR  V25.B16, V25.B16, V25.B16
+	VFMLA V23.S4, V1.S4, V25.S4
+	VFMLA V25.S4, V30.S4, V18.S4 // ij hi
+
+	VEOR  V25.B16, V25.B16, V25.B16
+	VFMLA V28.S4, V0.S4, V25.S4
+	VEOR  V10.B16, V10.B16, V10.B16
+	VFMLA V29.S4, V1.S4, V10.S4
+	VFMLA V10.S4, V30.S4, V25.S4 // dj hi
+
+	VST1.P [V19.S4], 16(R4)
+	VST1.P [V18.S4], 16(R5)
+	VST1.P [V25.S4], 16(R6)
+	VMOV   V19.B16, V28.B16 // lastM hi
+	VMOV   V25.B16, V29.B16 // lastD hi
+
+	SUBS $1, R9, R9
+	BNE  loop
+
+done:
+	RET

@@ -1,21 +1,31 @@
-//go:build amd64
+//go:build amd64 || arm64
 
 package phmm
 
-// SSE2 fast path for the lane-batched row update. The assembly kernel
-// replays rowQuad's per-lane arithmetic with packed 4-wide ops — same
-// operations, same rounding order, so its output is bit-identical to
+// Assembly fast paths for the lane-batched row update: SSE2 on amd64
+// (row_amd64.s), NEON on arm64 (row_arm64.s). Both kernels replay
+// rowQuad's per-lane arithmetic with packed 4-wide ops — same
+// operations, same rounding order, so their output is bit-identical to
 // the pure-Go quad path (TestRowLanesMatchesRowQuad asserts exactly
-// that). SSE2 is in the amd64 baseline, so no feature detection is
-// needed.
+// that). SSE2 is in the amd64 baseline and ASIMD in the arm64
+// baseline, so no feature detection is needed on either.
+//
+// The arm64 kernel earns bit-identity differently than the amd64 one:
+// the Go arm64 assembler exposes no packed FMUL/FADD, so the NEON
+// kernel computes a*b as FMLA into a zeroed register (one rounding of
+// 0 + a*b == one rounding of a*b; exact here because every operand in
+// the forward pass is non-negative, so a*b is never -0) and x+y as
+// FMLA with a broadcast 1.0 (one rounding of x + y*1.0; y*1.0 is
+// always exact). The Go reference holds up its side by being
+// fusion-free — see rowQuad.
 
-// haveRowAsm reports whether rowLanes dispatches to the assembly
+// haveRowAsm reports whether rowLanes dispatches to an assembly
 // kernel on this architecture (informational, used by tests/docs).
 const haveRowAsm = true
 
 // rowArgs is the flattened argument block for rowLanesAsm. Field
 // offsets are fixed by the assembly — keep layout and the int64 n in
-// sync with row_amd64.s.
+// sync with row_amd64.s and row_arm64.s.
 type rowArgs struct {
 	pPM, pPI, pPD *float32 // previous M/I/D rows (stride lanes.Width)
 	pCM, pCI, pCD *float32 // current M/I/D rows
@@ -31,9 +41,11 @@ type rowArgs struct {
 }
 
 // blendTab maps a 4-bit lane-match nibble to a 128-bit select mask:
-// entry i, dword k is all-ones iff bit k of i is set. The assembly
+// entry i, dword k is all-ones iff bit k of i is set. The amd64 kernel
 // gathers one entry per nibble and selects between the match and
-// mismatch prior vectors with AND/ANDN/OR.
+// mismatch prior vectors with AND/ANDN/OR; the arm64 kernel uses the
+// same entry in an xor-select, prior = (diff AND mask) XOR mism with
+// diff = match XOR mism.
 var blendTab = func() (t [16][4]uint32) {
 	for i := range t {
 		for k := 0; k < 4; k++ {

@@ -70,6 +70,32 @@ func TestCountRegionPackedRunLengths(t *testing.T) {
 	}
 }
 
+// TestCountRegionShortRunExhaustive drives the short-run SWAR gather
+// through every (length, start-phase) pair it can see: all run lengths
+// below the cutover crossed with every in-word phase, including every
+// phase that straddles a packed word boundary. Each case is pinned
+// exactly to the per-base reference.
+func TestCountRegionShortRunExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	seq := genome.Random(rng, 96)
+	for runLen := 1; runLen < packedRunCutover; runLen++ {
+		for phase := 0; phase < 32; phase++ {
+			cig := mustCigar(t, clipCigar(phase, runLen))
+			a := &simio.Alignment{Pos: 100, Cigar: cig, Seq: seq[:phase+runLen], Reverse: phase%2 == 1}
+			a.Pack()
+			rg := &Region{Start: 100, End: 200, Alignments: []*simio.Alignment{a}}
+			got, _ := CountRegion(rg)
+			want, _ := CountRegionScalar(rg)
+			for p := range want {
+				if got[p] != want[p] {
+					t.Fatalf("runLen %d phase %d position %d: %+v, want %+v",
+						runLen, phase, rg.Start+p, got[p], want[p])
+				}
+			}
+		}
+	}
+}
+
 func clipCigar(clip, runLen int) string {
 	if clip == 0 {
 		return strconv.Itoa(runLen) + "M"

@@ -57,9 +57,12 @@ type Region struct {
 // (simio.Alignment.Pack; real BAM records are packed natively) the
 // counters are bumped four bases per word chunk — one word load per
 // 32 bases, two shifts, a mask and an increment per base, no per-base
-// bounds checks. Unpacked records use the byte walk on the clamped
-// run. Results are exactly CountRegionScalar's (integer counters, no
-// rounding to tolerate), which the differential tests assert.
+// bounds checks. Runs below the word-walk cutover take the SWAR
+// gather (countMatchRunShort): the whole run is spliced out of its one
+// or two packed words into a single register first. Unpacked records
+// use the byte walk on the clamped run. Results are exactly
+// CountRegionScalar's (integer counters, no rounding to tolerate),
+// which the differential tests assert.
 func CountRegion(rg *Region) ([]Counts, int) {
 	counts := make([]Counts, rg.End-rg.Start)
 	for _, a := range rg.Alignments {
@@ -84,9 +87,12 @@ func CountRegion(rg *Region) ([]Counts, int) {
 				if lo < hi {
 					dst := counts[lo-rg.Start : lo-rg.Start+(hi-lo)]
 					q0 := readPos + (lo - refPos)
-					if packed != nil && hi-lo >= packedRunCutover {
+					switch {
+					case packed != nil && hi-lo >= packedRunCutover:
 						countMatchRunPacked(dst, packed, q0, strand)
-					} else {
+					case packed != nil:
+						countMatchRunShort(dst, packed, q0, strand)
+					default:
 						run := a.Seq[q0 : q0+(hi-lo)]
 						for i := range dst {
 							dst[i].Base[strand][run[i]&3]++
@@ -166,6 +172,42 @@ func countMatchRunPacked(dst []Counts, words []uint64, q0, strand int) {
 			w = words[wi]
 			rem = seq2.BasesPerWord
 		}
+	}
+}
+
+// countMatchRunShort handles clamped match runs below the cutover when
+// the packed form is available. A run of fewer than 32 bases is at
+// most 62 bits of 2-bit codes, so a SWAR gather splices it out of its
+// one or two packed words into a single register up front; the counter
+// loop then peels two bits per base off that register with the same
+// strided pointer walk as the long-run path — no per-base byte loads,
+// no word/phase bookkeeping inside the loop. This is the short-run
+// regime noisy long-read CIGARs live in (mean match run well under the
+// cutover), which previously fell back to the byte walk.
+func countMatchRunShort(dst []Counts, words []uint64, q0, strand int) {
+	n := len(dst) // < packedRunCutover <= 32
+	c := unsafe.Pointer(&dst[0].Base[strand][0])
+	phase := q0 % seq2.BasesPerWord
+	sh := 2 * uint(phase)
+	w := words[q0/seq2.BasesPerWord] >> sh
+	if seq2.BasesPerWord-phase < n {
+		// The run straddles a word boundary; sh > 0 here (a phase-0 run
+		// of < 32 bases fits its word), so 64-sh is a valid shift.
+		w |= words[q0/seq2.BasesPerWord+1] << (64 - sh)
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		*(*uint32)(unsafe.Add(c, uintptr(w&3)*4))++
+		*(*uint32)(unsafe.Add(c, countsStride+uintptr(w>>2&3)*4))++
+		*(*uint32)(unsafe.Add(c, 2*countsStride+uintptr(w>>4&3)*4))++
+		*(*uint32)(unsafe.Add(c, 3*countsStride+uintptr(w>>6&3)*4))++
+		c = unsafe.Add(c, 4*countsStride)
+		w >>= 8
+	}
+	for ; i < n; i++ {
+		*(*uint32)(unsafe.Add(c, uintptr(w&3)*4))++
+		c = unsafe.Add(c, countsStride)
+		w >>= 2
 	}
 }
 

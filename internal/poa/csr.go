@@ -1,0 +1,68 @@
+package poa
+
+import "repro/internal/scratch"
+
+// csr is a structure-of-arrays snapshot of the graph in topological
+// rank order — the layout the DP row sweep and the consensus pass
+// stream instead of chasing node/edge pointers:
+//
+//	rank r (DP row r+1):  bases[r], preds in[inOff[r]:inOff[r+1]]
+//
+// In-edge entries are stored as DP ROW indices (predecessor rank + 1,
+// row 0 being the virtual start), in the same order as the node's
+// `in` slice — candidate enumeration order is part of the scalar
+// path's tie-break contract, so the snapshot must preserve it.
+// Weights ride along for the consensus heaviest-bundle pass.
+//
+// The snapshot is rebuilt lazily: any mutation (addNode, addEdge —
+// including a weight bump on an existing edge — or Reset) marks it
+// stale, and the next csrSnapshot call after a topo order rebuilds it
+// into grow-only storage. Steady state costs one O(V+E) sweep per
+// AddSequence, the same order as the topo sort that precedes it.
+type csr struct {
+	inOff  []int32 // per-rank in-edge offsets, len V+1
+	in     []int32 // flat in-edge DP-row indices (rank+1), len E
+	inW    []int32 // in-edge weights, aligned with in
+	bases  []byte  // node bases by rank, contiguous
+	outDeg []int32 // out-degrees by rank (sink test for end selection)
+}
+
+// csrSnapshot returns the snapshot for the current graph, rebuilding
+// it if stale. order must be g.topoOrder() (the caller has always
+// just computed it).
+func (g *Graph) csrSnapshot(order []int32) *csr {
+	if g.csrOK {
+		return &g.csr
+	}
+	V := len(order)
+	g.rank = scratch.Grow(g.rank, len(g.nodes))
+	rank := g.rank
+	for r, v := range order {
+		rank[v] = int32(r)
+	}
+	c := &g.csr
+	c.inOff = scratch.Grow(c.inOff, V+1)
+	c.bases = scratch.Grow(c.bases, V)
+	c.outDeg = scratch.Grow(c.outDeg, V)
+	ne := 0
+	for r, v := range order {
+		nd := &g.nodes[v]
+		c.inOff[r] = int32(ne)
+		ne += len(nd.in)
+		c.bases[r] = byte(nd.base)
+		c.outDeg[r] = int32(len(nd.out))
+	}
+	c.inOff[V] = int32(ne)
+	c.in = scratch.Grow(c.in, ne)
+	c.inW = scratch.Grow(c.inW, ne)
+	k := 0
+	for _, v := range order {
+		for _, e := range g.nodes[v].in {
+			c.in[k] = rank[e.to] + 1
+			c.inW[k] = e.weight
+			k++
+		}
+	}
+	g.csrOK = true
+	return c
+}

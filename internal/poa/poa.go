@@ -73,6 +73,19 @@ type Graph struct {
 	consScores []int64
 	consPred   []int32
 	consRev    genome.Seq
+
+	// Lane-path state (lanes.go): the int16 score rows, the 2-bit
+	// packed query, per-base dense match masks, and the CSR graph
+	// snapshot the row sweep streams instead of the node/edge lists.
+	score16  []int16
+	packBuf  []uint64
+	maskBits [4][]uint64
+	csr      csr
+	csrOK    bool
+
+	// forceScalar pins AddSequence to the scalar int32 reference path
+	// (set via ConsensusScalarInto, and by differential tests).
+	forceScalar bool
 }
 
 // New creates an empty graph.
@@ -85,6 +98,7 @@ func New() *Graph { return &Graph{} }
 func (g *Graph) Reset() {
 	g.nodes = g.nodes[:0]
 	g.dirty = true
+	g.csrOK = false
 	g.CellUpdates = 0
 }
 
@@ -114,10 +128,15 @@ func (g *Graph) addNode(b genome.Base) int32 {
 		g.nodes = append(g.nodes, node{base: b})
 	}
 	g.dirty = true
+	g.csrOK = false
 	return int32(len(g.nodes) - 1)
 }
 
 func (g *Graph) addEdge(from, to int32, w int32) {
+	// Every branch invalidates the CSR snapshot: a weight bump on an
+	// existing edge leaves the topology (and g.dirty) alone, but the
+	// snapshot caches weights for the consensus pass.
+	g.csrOK = false
 	for i := range g.nodes[from].out {
 		if g.nodes[from].out[i].to == to {
 			g.nodes[from].out[i].weight += w
@@ -260,6 +279,10 @@ func (g *Graph) AddSequenceMode(seq genome.Seq, p Params, mode AlignMode) {
 	order := g.topoOrder()
 	n := len(seq)
 	V := len(order)
+	if !g.forceScalar && laneEligible(p, V, n) {
+		g.addSequenceLanes(seq, p, mode, order)
+		return
+	}
 	// rank[v] is the DP row of node v. All DP buffers are grow-only
 	// graph scratch; every cell the recurrence reads is written first
 	// (plus the explicit score[0] seed), so stale contents are inert.
@@ -373,8 +396,15 @@ func (g *Graph) AddSequenceMode(seq genome.Seq, p Params, mode AlignMode) {
 	if endRow < 0 {
 		endRow = int32(V)
 	}
+	g.backtrackMoves(order, width, endRow, n)
+	g.fusePath(seq)
+}
 
-	// Backtrack into (nodeID, seqPos) alignment pairs.
+// backtrackMoves walks the stored move/pred tables from endRow and
+// collects the (nodeID, seqPos) alignment pairs, end to start, into
+// g.path.
+func (g *Graph) backtrackMoves(order []int32, width int, endRow int32, n int) {
+	moveT, movePred := g.moveT, g.movePred
 	path := g.path[:0]
 	r, j := endRow, n
 	for {
@@ -391,12 +421,17 @@ func (g *Graph) AddSequenceMode(seq genome.Seq, p Params, mode AlignMode) {
 			path = append(path, aligned{-1, int32(j - 1)})
 			j--
 		default:
-			goto done
+			g.path = path
+			return
 		}
 	}
-done:
-	g.path = path
-	// path is reversed (end to start); fuse walking start to end.
+}
+
+// fusePath fuses the alignment pairs in g.path (stored end to start)
+// into the graph, adding nodes for insertions and mismatches and
+// bumping edge weights along the walked path.
+func (g *Graph) fusePath(seq genome.Seq) {
+	path := g.path
 	prevNode := int32(-1)
 	for i := len(path) - 1; i >= 0; i-- {
 		a := path[i]
@@ -438,38 +473,44 @@ done:
 
 // Consensus extracts the heaviest-bundle path: per node, the best
 // in-edge by weight (ties by predecessor score) defines a predecessor;
-// the highest-scoring end node is traced back.
+// the highest-scoring end node is traced back. The pass streams the
+// CSR snapshot in rank order — flat offsets, weights, and bases with
+// no node/edge pointer chasing — and is output-identical to the
+// node-list form because the snapshot preserves both topological
+// iteration order and per-node in-edge order.
 func (g *Graph) Consensus() genome.Seq {
 	if len(g.nodes) == 0 {
 		return nil
 	}
 	order := g.topoOrder()
-	g.consScores = scratch.Grow(g.consScores, len(g.nodes))
-	g.consPred = scratch.Grow(g.consPred, len(g.nodes))
+	c := g.csrSnapshot(order)
+	V := len(order)
+	g.consScores = scratch.Grow(g.consScores, V)
+	g.consPred = scratch.Grow(g.consPred, V)
 	scores, pred := g.consScores, g.consPred
 	clear(scores)
 	for i := range pred {
 		pred[i] = -1
 	}
-	for _, v := range order {
-		nd := &g.nodes[v]
-		for _, e := range nd.in {
-			s := scores[e.to] + int64(e.weight)
-			if pred[v] < 0 || s > scores[v] {
-				scores[v] = s
-				pred[v] = e.to
+	for r := 0; r < V; r++ {
+		for k := c.inOff[r]; k < c.inOff[r+1]; k++ {
+			pr := c.in[k] - 1 // in[] holds DP rows (rank+1)
+			s := scores[pr] + int64(c.inW[k])
+			if pred[r] < 0 || s > scores[r] {
+				scores[r] = s
+				pred[r] = pr
 			}
 		}
 	}
-	best := order[0]
-	for _, v := range order {
-		if scores[v] > scores[best] {
-			best = v
+	best := int32(0)
+	for r := int32(1); r < int32(V); r++ {
+		if scores[r] > scores[best] {
+			best = r
 		}
 	}
 	rev := g.consRev[:0]
 	for at := best; at >= 0; at = pred[at] {
-		rev = append(rev, g.nodes[at].base)
+		rev = append(rev, genome.Base(c.bases[at]))
 	}
 	g.consRev = rev
 	// The consensus escapes to the caller; it is the one allocation a
@@ -518,6 +559,16 @@ func ConsensusInto(w *Window, p Params, g *Graph) (genome.Seq, uint64) {
 	return g.Consensus(), g.CellUpdates
 }
 
+// ConsensusScalarInto is ConsensusInto pinned to the scalar int32
+// reference DP: the lane path is the optimization under test, so the
+// benchmark pair and the differential suite need the unoptimized side
+// on demand regardless of window eligibility.
+func ConsensusScalarInto(w *Window, p Params, g *Graph) (genome.Seq, uint64) {
+	g.forceScalar = true
+	defer func() { g.forceScalar = false }()
+	return ConsensusInto(w, p, g)
+}
+
 // KernelResult aggregates a poa benchmark execution.
 type KernelResult struct {
 	Windows     int
@@ -555,7 +606,12 @@ func RunKernelCtx(ctx context.Context, windows []*Window, p Params, threads int)
 		workers[i].stats = perf.NewTaskStats("cell updates")
 		workers[i].graph = New()
 	}
-	err := parallel.ForEachCtxErr(ctx, len(windows), threads, func(tctx context.Context, w, i int) error {
+	// Windows vary ~10x in cell count (graph size times read coverage),
+	// so dispatch goes through the work-stealing scheduler: each worker
+	// owns a contiguous block of windows and idle workers steal from
+	// the most loaded, instead of every dispatch bouncing the shared
+	// counter's cache line.
+	err := parallel.ForEachStealingErr(ctx, len(windows), threads, func(tctx context.Context, w, i int) error {
 		if err := faultinject.Point(tctx); err != nil {
 			return err
 		}

@@ -134,6 +134,55 @@ func MatchBit(mask []uint64, i int) bool {
 	return mask[i/BasesPerWord]>>(2*(uint(i)%BasesPerWord))&1 != 0
 }
 
+// BitsWords returns the number of uint64 words a dense 1-bit-per-base
+// mask of n bases occupies (64 bases per word).
+func BitsWords(n int) int { return (n + 63) / 64 }
+
+// compressPairs gathers the 32 even-position bits of a 0x5555-spaced
+// mask into the low 32 bits, preserving order — the SWAR pair
+// compress (one half of a Morton decode).
+func compressPairs(x uint64) uint64 {
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x>>4) & 0x00ff00ff00ff00ff
+	x = (x | x>>8) & 0x0000ffff0000ffff
+	x = (x | x>>16) & 0x00000000ffffffff
+	return x
+}
+
+// MatchMaskBits writes, for every base of p, whether it equals b, as
+// a DENSE bitmask: bit i%64 of dst[i/64] is set iff base i == b, and
+// bits at positions >= p.Len() are zero. dst must have len >=
+// BitsWords(p.Len()). Returns dst for chaining.
+//
+// This is the SWAR byte-compare mask the poa lane kernel consumes:
+// each packed word pair compresses to one 64-base word, so an 8-column
+// DP group reads its match octet with one shift — no per-cell base
+// compare, no branch. Built from the same eqLanes compare MatchMask
+// uses, plus a pair compress.
+func MatchMaskBits(dst []uint64, p Packed, b genome.Base) []uint64 {
+	if p.n == 0 {
+		return dst
+	}
+	pat := broadcast2(b)
+	nw := BitsWords(p.n)
+	_ = dst[nw-1]
+	for w := 0; w < nw; w++ {
+		lo := compressPairs(eqLanes(p.words[2*w], pat))
+		var hi uint64
+		if 2*w+1 < len(p.words) {
+			hi = compressPairs(eqLanes(p.words[2*w+1], pat))
+		}
+		dst[w] = lo | hi<<32
+	}
+	// Zero the padding lanes of the last word (the 2-bit padding packs
+	// as base A, which would otherwise leak spurious A-matches).
+	if tail := p.n % 64; tail != 0 {
+		dst[nw-1] &= 1<<uint(tail) - 1
+	}
+	return dst
+}
+
 // CountRange counts positions i in [lo,hi) with base i == b, using one
 // popcount per 32 bases. It is the packed equivalent of a byte scan
 // `for i := lo; i < hi; i++ { if s[i] == b { n++ } }`.

@@ -71,6 +71,32 @@ func TestMatchMaskDifferential(t *testing.T) {
 	}
 }
 
+func TestMatchMaskBitsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(400)
+		s := genome.Random(rng, n)
+		p := Pack(s)
+		mask := make([]uint64, BitsWords(n))
+		for b := genome.Base(0); b < 4; b++ {
+			MatchMaskBits(mask, p, b)
+			for i := 0; i < n; i++ {
+				want := s[i] == b
+				if got := mask[i/64]>>(uint(i)%64)&1 != 0; got != want {
+					t.Fatalf("n=%d b=%d i=%d: bit=%v want %v", n, b, i, got, want)
+				}
+			}
+			// Padding bits beyond n must be zero even for base A, which
+			// the 2-bit packing's padding lanes alias.
+			for i := n; i < 64*len(mask); i++ {
+				if mask[i/64]>>(uint(i)%64)&1 != 0 {
+					t.Fatalf("n=%d b=%d: padding bit %d set", n, b, i)
+				}
+			}
+		}
+	}
+}
+
 func TestCountRangeDifferential(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	for trial := 0; trial < 50; trial++ {
