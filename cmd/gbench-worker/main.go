@@ -1,0 +1,74 @@
+// Command gbench-worker is one worker process of the shard fabric: it
+// dials the coordinator started by `gbench -dist`, pulls shard leases,
+// executes each shard's tasks through the registered kernel executors,
+// and reports per-task digests. Heartbeats keep its leases alive
+// through long shards; if the process dies mid-shard the coordinator's
+// lease machinery reschedules its work onto the surviving fleet.
+//
+// A -faults plan arms worker-side chaos: killworker makes this process
+// die abruptly (exit 7, like a SIGKILL from outside), slowshard stalls
+// shard execution to trip lease expiry and hedging, and dropconn tears
+// the coordinator connection down after computing a shard, forcing a
+// reschedule of already-finished work. Fault sites match against
+// "workerID/kernel" labels, so "w1" targets one worker and "spoa"
+// targets one kernel fleet-wide.
+//
+// Usage:
+//
+//	gbench-worker -addr 127.0.0.1:9000 -id w1
+//	gbench-worker -addr 127.0.0.1:9000 -id w2 -faults "killworker:w2:1" -fault-seed 7
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	_ "repro/internal/core" // registers the kernel shard executors
+	"repro/internal/faultinject"
+	"repro/internal/shard"
+)
+
+// exitKilled mimics an abrupt death: distinct from clean exits so the
+// chaos tests can assert the worker really died by injection.
+const exitKilled = 7
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "coordinator address (required)")
+		id        = flag.String("id", "", "worker ID (required, e.g. w1)")
+		faults    = flag.String("faults", "", "worker-side fault plan (killworker/slowshard/dropconn, plus task trip-point kinds)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for deterministic fault firing")
+	)
+	flag.Parse()
+	if *addr == "" || *id == "" {
+		fmt.Fprintln(os.Stderr, "gbench-worker: -addr and -id are required")
+		os.Exit(2)
+	}
+	plan, err := faultinject.Parse(*faults, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err = shard.RunWorker(ctx, shard.WorkerOptions{ID: *id, Addr: *addr, Plan: plan})
+	switch {
+	case err == nil:
+		return // coordinator said shutdown
+	case errors.Is(err, shard.ErrKilled):
+		fmt.Fprintf(os.Stderr, "gbench-worker: %s killed by fault injection\n", *id)
+		os.Exit(exitKilled)
+	case errors.Is(err, context.Canceled):
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "gbench-worker: %s: %v\n", *id, err)
+		os.Exit(1)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -57,6 +58,12 @@ func main() {
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for deterministic fault firing")
 		timeout     = flag.Duration("timeout", 0, "per-attempt kernel timeout (0 = size default)")
 		attempts    = flag.Int("attempts", 0, "attempts per kernel (0 = policy default)")
+		distN       = flag.Int("dist", 0, "run shardable kernels over N worker processes (0 = in-process)")
+		distAddr    = flag.String("dist-addr", "127.0.0.1:0", "coordinator listen address (with -dist)")
+		distShards  = flag.Int("dist-shards", 16, "shards per distributed kernel job")
+		distLease   = flag.Duration("dist-lease", 0, "shard lease duration (0 = 2s default)")
+		distVerify  = flag.Bool("dist-verify", false, "re-run each distributed kernel in-process and fail on digest mismatch")
+		workerBin   = flag.String("worker-bin", "", "gbench-worker binary (default: sibling of gbench, then $PATH)")
 	)
 	flag.Parse()
 
@@ -127,6 +134,47 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Distributed mode: start the coordinator, spawn the worker fleet
+	// (handing it the same fault spec, whose killworker/slowshard/
+	// dropconn clauses only workers evaluate), and attach the fabric to
+	// the suite config. Workers that die mid-run are rescheduled around;
+	// the fleet is reaped after the suite.
+	var distCfg *core.DistConfig
+	var fleet *shard.Fleet
+	var coord *shard.Coordinator
+	if *distN > 0 {
+		opts := shard.DefaultOptions()
+		if *distLease > 0 {
+			opts.Lease = *distLease
+			opts.HeartbeatGrace = *distLease
+		}
+		coord = shard.NewCoordinator(opts)
+		if err := coord.Start(*distAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		bin, err := shard.WorkerBinary(*workerBin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fleet, err = shard.SpawnWorkers(ctx, bin, coord.Addr(), *distN, *faults, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		wctx, wcancel := context.WithTimeout(ctx, 15*time.Second)
+		err = coord.WaitForWorkers(wctx, *distN)
+		wcancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gbench: %v\n", err)
+			fleet.Stop()
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gbench: fabric up at %s with %d worker(s)\n", coord.Addr(), *distN)
+		distCfg = &core.DistConfig{Fabric: coord, Shards: *distShards, Verify: *distVerify}
+	}
+
 	cfg := core.SuiteConfig{
 		Size:    size,
 		Seed:    *seed,
@@ -137,9 +185,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gbench: "+format+"\n", args...)
 		},
 	}
+	cfg.Dist = distCfg
 	meta := core.NewRunMeta(cfg, *faults)
 	outcomes := core.RunSuite(ctx, benches, cfg)
 
+	if coord != nil {
+		coord.Close() // broadcasts shutdown to surviving workers
+		fleet.Wait()
+	}
 	if observer != nil {
 		observer.Sampler.Stop()
 	}
@@ -169,17 +222,17 @@ func main() {
 	// within them.
 	t := &core.Table{
 		Title:   fmt.Sprintf("GenomicsBench (%s inputs, %d threads, seed %d)", size, *threads, *seed),
-		Columns: []string{"benchmark", "tool", "elapsed", "tasks", "ops", "mix", "status", "error"},
+		Columns: []string{"benchmark", "tool", "elapsed", "tasks", "ops", "mix", "status", "shard", "error"},
 	}
 	for i := range outcomes {
 		o := &outcomes[i]
 		if o.Failed() {
-			t.AddRow(o.Info.Name, o.Info.Tool, "-", "-", "-", "-", o.Status, firstLine(o.Err))
+			t.AddRow(o.Info.Name, o.Info.Tool, "-", "-", "-", "-", o.Status, shardCell(o.Shard), firstLine(o.Err))
 			continue
 		}
 		stats := o.Stats
 		t.AddRow(o.Info.Name, o.Info.Tool, stats.Elapsed.Round(1e5),
-			stats.TaskStats.Count(), stats.Counters.Total(), stats.Counters.String(), o.Status, "-")
+			stats.TaskStats.Count(), stats.Counters.Total(), stats.Counters.String(), o.Status, shardCell(o.Shard), "-")
 	}
 	fmt.Print(t) // partial results flush even when kernels failed
 
@@ -284,6 +337,16 @@ func selectBenches(spec string) ([]core.Benchmark, error) {
 		return nil, fmt.Errorf("no benchmarks selected by %q", spec)
 	}
 	return benches, nil
+}
+
+// shardCell compacts a distributed kernel's lifecycle summary:
+// workers/shards plus the recovery counters (rescheduled, hedged,
+// lease-expired).
+func shardCell(s *shard.Summary) string {
+	if s == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%dw/%ds r=%d h=%d x=%d", s.Workers, s.Shards, s.Rescheduled, s.Hedged, s.LeaseExpired)
 }
 
 // firstLine compacts an error for a table cell.

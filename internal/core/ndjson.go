@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/perf"
+	"repro/internal/shard"
 )
 
 // This file is the suite's machine-readable output: every run can be
@@ -84,6 +85,11 @@ type KernelRecord struct {
 	TaskWork  *TaskWorkRecord    `json:"task_work,omitempty"`
 	Extra     map[string]float64 `json:"extra,omitempty"`
 	Error     string             `json:"error,omitempty"`
+	// Shard is the fabric's lifecycle accounting when the kernel ran
+	// distributed; Fingerprint is the hex digest-vector fold two runs
+	// of the same job must agree on.
+	Shard       *shard.Summary `json:"shard,omitempty"`
+	Fingerprint string         `json:"fingerprint,omitempty"`
 }
 
 // KernelRecords converts suite outcomes into their NDJSON records.
@@ -97,6 +103,13 @@ func KernelRecords(outcomes []KernelOutcome) []KernelRecord {
 			Tool:     o.Info.Tool,
 			Status:   o.Status.String(),
 			Attempts: o.Attempts,
+		}
+		if o.Shard != nil {
+			s := *o.Shard
+			rec.Shard = &s
+			if !o.Failed() {
+				rec.Fingerprint = fmt.Sprintf("%016x", o.Fingerprint)
+			}
 		}
 		if o.Failed() {
 			if o.Err != nil {
@@ -293,11 +306,12 @@ func MetricsTables(f *MetricsFile) []*Table {
 	}
 	kt := &Table{
 		Title:   title,
-		Columns: []string{"benchmark", "status", "attempts", "elapsed", "tasks", "ops", "task p99", "max/mean", "error"},
+		Columns: []string{"benchmark", "status", "attempts", "elapsed", "tasks", "ops", "task p99", "max/mean", "shard", "error"},
 	}
 	for _, k := range f.Kernels {
 		if k.Status != StatusOK.String() {
-			kt.AddRow(k.Kernel, k.Status, k.Attempts, "-", "-", "-", "-", "-", firstLineOf(k.Error))
+			kt.AddRow(k.Kernel, k.Status, k.Attempts, "-", "-", "-", "-", "-",
+				shardCell(k.Shard), firstLineOf(k.Error))
 			continue
 		}
 		tasks, p99, ratio := "-", "-", "-"
@@ -308,7 +322,7 @@ func MetricsTables(f *MetricsFile) []*Table {
 		}
 		kt.AddRow(k.Kernel, k.Status, k.Attempts,
 			time.Duration(k.ElapsedNs).Round(100*time.Microsecond),
-			tasks, k.Ops, p99, ratio, "-")
+			tasks, k.Ops, p99, ratio, shardCell(k.Shard), "-")
 	}
 	tables = append(tables, kt)
 
@@ -367,6 +381,16 @@ func MetricsTables(f *MetricsFile) []*Table {
 		tables = append(tables, rt)
 	}
 	return tables
+}
+
+// shardCell compacts a shard lifecycle summary for a table cell:
+// worker count, shard count, and the recovery counters that matter
+// when triaging a chaotic run.
+func shardCell(s *shard.Summary) string {
+	if s == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%dw/%ds r=%d h=%d x=%d", s.Workers, s.Shards, s.Rescheduled, s.Hedged, s.LeaseExpired)
 }
 
 // firstLineOf compacts a possibly multi-line error string for a cell.

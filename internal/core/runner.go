@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/scratch"
+	"repro/internal/shard"
 )
 
 // Status classifies a kernel's suite outcome.
@@ -38,14 +39,25 @@ func (s Status) String() string {
 }
 
 // KernelOutcome is one kernel's result in a resilient suite run:
-// either Stats (StatusOK) or Err explaining the failure.
+// either Stats (StatusOK) or Err explaining the failure. Kernels that
+// ran on the shard fabric additionally carry the shard lifecycle
+// summary and the digest-vector fingerprint.
 type KernelOutcome struct {
 	Info     Info
 	Status   Status
 	Stats    RunStats
 	Err      error // *resilience.KernelError unless skipped
 	Attempts int
+	// Shard is non-nil when the kernel ran distributed; it is the
+	// coordinator's lifecycle accounting for the job.
+	Shard *shard.Summary
+	// Fingerprint folds the distributed run's per-task digest vector;
+	// two runs of the same (kernel, size, seed) must match.
+	Fingerprint uint64
 }
+
+// Distributed reports whether the kernel ran on the shard fabric.
+func (o *KernelOutcome) Distributed() bool { return o.Shard != nil }
 
 // Failed reports whether the kernel did not complete successfully.
 func (o *KernelOutcome) Failed() bool { return o.Status != StatusOK }
@@ -65,6 +77,9 @@ type SuiteConfig struct {
 	// hands kernels, so the scheduler (parallel) and supervisor
 	// (resilience) layers record into it too.
 	Obs *obs.Observer
+	// Dist, when non-nil, routes shardable kernels over the
+	// fault-tolerant fabric; the rest fall back to the in-process path.
+	Dist *DistConfig
 }
 
 // PolicyFor returns the per-attempt retry/timeout policy matched to a
@@ -113,6 +128,29 @@ func RunSuite(ctx context.Context, benches []Benchmark, cfg SuiteConfig) []Kerne
 		faultinject.SetLabel(info.Name)
 		o.SetLabel(info.Name)
 		kctx, kernelSpan := o.StartSpan(obs.WithLabel(sctx, info.Name), "kernel:"+info.Name)
+		// Shardable kernels route over the fabric when one is attached;
+		// a failed job (attempts exhausted, worker pool starved) degrades
+		// to a failed outcome exactly like an in-process kernel failure,
+		// and the remaining kernels still run.
+		if cfg.Dist.Distributed(info.Name) {
+			out = runDistKernel(kctx, info, cfg, progress)
+			faultinject.ClearLabel()
+			o.SetLabel("")
+			o.Counter("suite.kernels", info.Name).Inc()
+			if out.Failed() {
+				kernelSpan.EndStatus(out.Status.String())
+				progress("%s: %s (distributed): %v", info.Name, out.Status, out.Err)
+			} else {
+				kernelSpan.End(nil)
+				recordKernelMetrics(o, info.Name, &out.Stats)
+				progress("%s: ok in %s (distributed: %d shards, %d rescheduled, %d hedged)",
+					info.Name, out.Stats.Elapsed.Round(time.Millisecond),
+					out.Shard.Shards, out.Shard.Rescheduled, out.Shard.Hedged)
+			}
+			o.Counter("suite.kernels_"+out.Status.String(), info.Name).Inc()
+			outcomes = append(outcomes, out)
+			continue
+		}
 		// One scratch pool per kernel, installed OUTSIDE the resilience
 		// envelope: a retried attempt draws the same per-worker arenas
 		// its predecessor grew, so retries skip the cold-heap band and

@@ -15,6 +15,14 @@
 //	truncate:fasta:4096  cut the reader off after 4096 bytes
 //	corrupt:fastq:0.01   flip one bit per byte with probability 0.01
 //	slow:fastq:1ms       sleep 1ms per Read call
+//	killworker:w1:1.0    shard worker abandons everything and dies
+//	slowshard:w2:400ms   shard worker stalls before executing a shard
+//	dropconn:w3:0.5      shard worker drops its coordinator connection
+//
+// The last three are shard-fabric faults evaluated by worker processes
+// at shard boundaries (see internal/shard); their labels are
+// "workerID/kernel", so a site of "w1" targets one worker and a site
+// of "spoa" targets every worker's shards of one kernel.
 //
 // A site matches a trip-point if it equals or is contained in the
 // current label (so `panic:poa` hits the kernel registered as "spoa"),
@@ -43,11 +51,15 @@ const (
 	KindTruncate
 	KindCorrupt
 	KindSlow
+	KindKillWorker
+	KindSlowShard
+	KindDropConn
 )
 
 var kindNames = map[string]Kind{
 	"panic": KindPanic, "delay": KindDelay, "error": KindError,
 	"truncate": KindTruncate, "corrupt": KindCorrupt, "slow": KindSlow,
+	"killworker": KindKillWorker, "slowshard": KindSlowShard, "dropconn": KindDropConn,
 }
 
 func (k Kind) String() string {
@@ -139,7 +151,7 @@ func Parse(spec string, seed int64) (*Plan, error) {
 		}
 		var err error
 		switch kind {
-		case KindPanic, KindError:
+		case KindPanic, KindError, KindKillWorker, KindDropConn:
 			f.Prob = 1.0
 			if param != "" {
 				f.Prob, err = strconv.ParseFloat(param, 64)
@@ -149,7 +161,7 @@ func Parse(spec string, seed int64) (*Plan, error) {
 			if param != "" {
 				f.Prob, err = strconv.ParseFloat(param, 64)
 			}
-		case KindDelay, KindSlow:
+		case KindDelay, KindSlow, KindSlowShard:
 			f.Delay = 100 * time.Millisecond
 			if param != "" {
 				f.Delay, err = time.ParseDuration(param)
@@ -179,11 +191,11 @@ func Parse(spec string, seed int64) (*Plan, error) {
 // clauseString renders one fault back into spec form.
 func clauseString(f *Fault) string {
 	switch f.Kind {
-	case KindDelay, KindSlow:
+	case KindDelay, KindSlow, KindSlowShard:
 		return fmt.Sprintf("%s:%s:%s", f.Kind, f.Site, f.Delay)
 	case KindTruncate:
 		return fmt.Sprintf("%s:%s:%d", f.Kind, f.Site, f.Bytes)
-	default: // panic, error, corrupt
+	default: // panic, error, corrupt, killworker, dropconn
 		return fmt.Sprintf("%s:%s:%g", f.Kind, f.Site, f.Prob)
 	}
 }
@@ -304,10 +316,18 @@ func Point(ctx context.Context) error {
 	if p == nil {
 		return nil
 	}
-	return p.point(ctx, label())
+	return p.PointAt(ctx, label())
 }
 
-func (p *Plan) point(ctx context.Context, lbl string) error {
+// PointAt evaluates p's trip-point faults against an explicit label,
+// bypassing the process-global armed plan and label. Shard workers use
+// it: several in-process workers can each hold their own plan and
+// evaluate it under their own "workerID/kernel" label without racing
+// over the global label. Nil-safe.
+func (p *Plan) PointAt(ctx context.Context, lbl string) error {
+	if p == nil {
+		return nil
+	}
 	for i := range p.Faults {
 		f := &p.Faults[i]
 		if !f.matches(lbl) {
@@ -333,9 +353,58 @@ func (p *Plan) point(ctx context.Context, lbl string) error {
 	return nil
 }
 
+// ShardDisruption is the outcome of evaluating a plan's shard-fabric
+// faults at a shard boundary.
+type ShardDisruption struct {
+	Kill bool // killworker fired: the worker must abandon everything and die
+	Drop bool // dropconn fired: the worker must drop its coordinator connection
+}
+
+// ShardFault evaluates the shard-fabric fault kinds (killworker,
+// slowshard, dropconn) against the label, in clause order. A matching
+// slowshard clause sleeps context-aware before the decision is
+// returned; a cancelled sleep returns the context error. Kill and Drop
+// report whether a killworker or dropconn clause fired. Nil-safe.
+func (p *Plan) ShardFault(ctx context.Context, lbl string) (ShardDisruption, error) {
+	var d ShardDisruption
+	if p == nil {
+		return d, nil
+	}
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if !f.matches(lbl) {
+			continue
+		}
+		switch f.Kind {
+		case KindSlowShard:
+			p.evals[i].Add(1)
+			p.trips[i].Add(1) // a slowshard fault fires on every matching evaluation
+			if err := sleepCtx(ctx, f.Delay); err != nil {
+				return d, err
+			}
+		case KindKillWorker:
+			if p.fire(i, f.Prob) {
+				d.Kill = true
+			}
+		case KindDropConn:
+			if p.fire(i, f.Prob) {
+				d.Drop = true
+			}
+		}
+	}
+	return d, nil
+}
+
+// sleepCtx sleeps d, returning early with the context error when ctx
+// is cancelled — including when it was already cancelled on entry, so
+// a fault-injected delay never outlives the attempt it was meant to
+// stall.
 func sleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if d <= 0 {
-		return ctx.Err()
+		return nil
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()

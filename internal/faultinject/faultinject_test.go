@@ -228,3 +228,115 @@ func TestWrapReaderDisarmed(t *testing.T) {
 		t.Error("disarmed WrapReader should return the reader unchanged")
 	}
 }
+
+func TestPointDelayPreCancelledReturnsImmediately(t *testing.T) {
+	p, _ := Parse("delay:kern:1h", 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := p.PointAt(ctx, "kern")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("pre-cancelled delay trip-point slept %v", d)
+	}
+}
+
+func TestSlowReaderHonorsCancellation(t *testing.T) {
+	p, _ := Parse("slow:fastq:1h", 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	r := p.WrapReaderCtx(ctx, "fastq", bytes.NewReader([]byte("hello")))
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Read(make([]byte, 1))
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow reader slept through cancellation")
+	}
+}
+
+func TestParseShardFaultKinds(t *testing.T) {
+	spec := "killworker:w1:1,slowshard:w2:50ms,dropconn:*:0.5"
+	p, err := Parse(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != spec {
+		t.Errorf("round-trip = %q, want %q", got, spec)
+	}
+	// Shard kinds never fire at kernel trip-points or reader wraps.
+	if err := p.PointAt(context.Background(), "w1/spoa"); err != nil {
+		t.Fatalf("PointAt fired a shard fault: %v", err)
+	}
+	src := bytes.NewReader([]byte("x"))
+	if r := p.WrapReader("w2/spoa", src); r != src {
+		t.Error("WrapReader wrapped for a shard-only plan")
+	}
+}
+
+func TestShardFaultDecisions(t *testing.T) {
+	p, _ := Parse("killworker:w1:1,dropconn:w2:1,slowshard:w3:1ms", 3)
+	ctx := context.Background()
+	d, err := p.ShardFault(ctx, "w1/bsw")
+	if err != nil || !d.Kill || d.Drop {
+		t.Fatalf("w1 decision = %+v, %v; want Kill only", d, err)
+	}
+	d, err = p.ShardFault(ctx, "w2/bsw")
+	if err != nil || d.Kill || !d.Drop {
+		t.Fatalf("w2 decision = %+v, %v; want Drop only", d, err)
+	}
+	start := time.Now()
+	d, err = p.ShardFault(ctx, "w3/bsw")
+	if err != nil || d.Kill || d.Drop {
+		t.Fatalf("w3 decision = %+v, %v; want neither", d, err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Error("slowshard did not sleep")
+	}
+	// Non-matching label: nothing fires, nothing counted.
+	if d, _ := p.ShardFault(ctx, "w9/bsw"); d.Kill || d.Drop {
+		t.Errorf("non-matching label fired: %+v", d)
+	}
+	for _, s := range p.Stats() {
+		if s.Site == "w9" && s.Evals != 0 {
+			t.Errorf("clause %s evaluated for non-matching label", s.Clause)
+		}
+	}
+}
+
+func TestShardFaultSlowShardHonorsCancellation(t *testing.T) {
+	p, _ := Parse("slowshard:w1:1h", 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.ShardFault(ctx, "w1/bsw")
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slowshard slept through cancellation")
+	}
+}
+
+func TestShardFaultNilPlan(t *testing.T) {
+	var p *Plan
+	if d, err := p.ShardFault(context.Background(), "w1"); err != nil || d.Kill || d.Drop {
+		t.Fatalf("nil plan = %+v, %v", d, err)
+	}
+	if err := p.PointAt(context.Background(), "w1"); err != nil {
+		t.Fatalf("nil plan PointAt = %v", err)
+	}
+}

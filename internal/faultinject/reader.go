@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"time"
@@ -13,15 +14,28 @@ import (
 //
 //	reads, err := simio.ReadFastqAuto(faultinject.WrapReader("fastq", f))
 func WrapReader(site string, r io.Reader) io.Reader {
+	return WrapReaderCtx(context.Background(), site, r)
+}
+
+// WrapReaderCtx is WrapReader with cooperative cancellation: a slow
+// reader's injected sleeps end early (the Read returns ctx.Err()) when
+// ctx is cancelled, instead of sleeping through the caller's deadline.
+func WrapReaderCtx(ctx context.Context, site string, r io.Reader) io.Reader {
 	p := armed.Load()
 	if p == nil {
 		return r
 	}
-	return p.WrapReader(site, r)
+	return p.WrapReaderCtx(ctx, site, r)
 }
 
 // WrapReader applies p's matching reader faults around r.
 func (p *Plan) WrapReader(site string, r io.Reader) io.Reader {
+	return p.WrapReaderCtx(context.Background(), site, r)
+}
+
+// WrapReaderCtx applies p's matching reader faults around r, with slow
+// readers honouring ctx cancellation mid-sleep.
+func (p *Plan) WrapReaderCtx(ctx context.Context, site string, r io.Reader) io.Reader {
 	for i := range p.Faults {
 		f := &p.Faults[i]
 		if !f.matches(site) {
@@ -45,7 +59,7 @@ func (p *Plan) WrapReader(site string, r io.Reader) io.Reader {
 				rng:  rand.New(rand.NewSource(p.Seed ^ int64(splitmix64(uint64(i)+0xc0ffee)))),
 			}
 		case KindSlow:
-			r = &slowReader{r: r, delay: f.Delay}
+			r = &slowReader{r: r, ctx: ctx, delay: f.Delay}
 		}
 	}
 	return r
@@ -92,13 +106,18 @@ func (c *corruptReader) Read(b []byte) (int, error) {
 }
 
 // slowReader sleeps before every Read call, modelling a starved or
-// network-backed input stream.
+// network-backed input stream. The sleep is context-aware: once the
+// wrap context is cancelled, Read stops sleeping and reports the
+// context error instead of stalling its caller through a deadline.
 type slowReader struct {
 	r     io.Reader
+	ctx   context.Context
 	delay time.Duration
 }
 
 func (s *slowReader) Read(b []byte) (int, error) {
-	time.Sleep(s.delay)
+	if err := sleepCtx(s.ctx, s.delay); err != nil {
+		return 0, err
+	}
 	return s.r.Read(b)
 }

@@ -1,0 +1,93 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// WorkerBinary locates the gbench-worker executable: an explicit path
+// wins, then a sibling of the running binary, then $PATH. Keeping the
+// lookup here means cmd/gbench and the chaos tests resolve the worker
+// the same way.
+func WorkerBinary(explicit string) (string, error) {
+	if explicit != "" {
+		if _, err := os.Stat(explicit); err != nil {
+			return "", fmt.Errorf("shard: worker binary %s: %w", explicit, err)
+		}
+		return explicit, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "gbench-worker")
+		if _, err := os.Stat(sibling); err == nil {
+			return sibling, nil
+		}
+	}
+	if p, err := exec.LookPath("gbench-worker"); err == nil {
+		return p, nil
+	}
+	return "", fmt.Errorf("shard: gbench-worker binary not found (build it with `go build ./cmd/gbench-worker` or pass -worker-bin)")
+}
+
+// Fleet is a set of spawned worker processes.
+type Fleet struct {
+	mu    sync.Mutex
+	procs []*exec.Cmd
+}
+
+// SpawnWorkers launches n worker processes against addr, each with its
+// own ID (w1, w2, ...) and the given fault spec (may be empty). The
+// processes inherit stderr so worker-side fault logs surface in the
+// suite's output; stdout is discarded.
+func SpawnWorkers(ctx context.Context, bin, addr string, n int, faults string, faultSeed int64) (*Fleet, error) {
+	f := &Fleet{}
+	for i := 1; i <= n; i++ {
+		args := []string{"-addr", addr, "-id", fmt.Sprintf("w%d", i)}
+		if faults != "" {
+			args = append(args, "-faults", faults, "-fault-seed", fmt.Sprint(faultSeed))
+		}
+		cmd := exec.CommandContext(ctx, bin, args...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			f.Stop()
+			return nil, fmt.Errorf("shard: starting worker %d: %w", i, err)
+		}
+		f.mu.Lock()
+		f.procs = append(f.procs, cmd)
+		f.mu.Unlock()
+	}
+	return f, nil
+}
+
+// Stop kills any still-running workers and reaps them. Workers that
+// already exited (cleanly after Shutdown, or abruptly under killworker
+// faults) are just reaped; Stop never fails the suite over a worker's
+// exit status — the coordinator's counters are the source of truth for
+// what happened out there.
+func (f *Fleet) Stop() {
+	f.mu.Lock()
+	procs := f.procs
+	f.procs = nil
+	f.mu.Unlock()
+	for _, cmd := range procs {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+		_ = cmd.Wait()
+	}
+}
+
+// Wait reaps all workers without killing them, for the clean-shutdown
+// path after the coordinator broadcast Shutdown.
+func (f *Fleet) Wait() {
+	f.mu.Lock()
+	procs := f.procs
+	f.procs = nil
+	f.mu.Unlock()
+	for _, cmd := range procs {
+		_ = cmd.Wait()
+	}
+}

@@ -1,0 +1,345 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/resilience"
+)
+
+// ErrKilled is returned by RunWorker when a killworker fault fires:
+// the worker abandoned its connection and everything it was executing,
+// exactly as a SIGKILLed process would. cmd/gbench-worker turns it
+// into an abrupt nonzero exit.
+var ErrKilled = errors.New("shard: worker killed by fault injection")
+
+// WorkerOptions configures one worker.
+type WorkerOptions struct {
+	ID   string
+	Addr string
+	// Heartbeat overrides the beat interval; 0 derives it from the
+	// coordinator's advertised lease (a third of it).
+	Heartbeat time.Duration
+	// PullDelay is the idle re-poll interval after NoWork.
+	PullDelay time.Duration
+	// Plan, when non-nil, arms this worker's private fault plan
+	// (killworker / slowshard / dropconn at shard boundaries, plus the
+	// classic panic/delay/error kinds inside the task loop). Each
+	// worker holds its own plan instance, so in-process fleets evaluate
+	// faults without racing over package-global state.
+	Plan *faultinject.Plan
+	// Retry is the per-shard worker-side retry policy; zero value means
+	// 2 attempts with 25ms..250ms backoff. Retries re-run the whole
+	// shard locally before the coordinator ever sees a failure.
+	Retry resilience.Policy
+	// Reconnects bounds dial attempts after a lost connection.
+	Reconnects int
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.PullDelay <= 0 {
+		o.PullDelay = 10 * time.Millisecond
+	}
+	if o.Retry.Attempts == 0 {
+		o.Retry = resilience.Policy{
+			Attempts: 2, BackoffBase: 25 * time.Millisecond, BackoffCap: 250 * time.Millisecond,
+		}
+	}
+	if o.Reconnects <= 0 {
+		o.Reconnects = 5
+	}
+	return o
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// worker is one connection-scoped execution loop.
+type worker struct {
+	opts   WorkerOptions
+	conn   net.Conn
+	wmu    sync.Mutex // serializes result/pull frames with heartbeats
+	joined bool       // completed a Hello handshake at least once
+	execs  map[string]Executor
+	prep   map[string]int // prepared dataset task counts, keyed kernel|size|seed
+}
+
+// RunWorker connects to the coordinator at opts.Addr and processes
+// shards until the coordinator says Shutdown, ctx is cancelled, or a
+// killworker fault fires (ErrKilled). A lost connection is redialed
+// with backoff up to opts.Reconnects times; an in-flight shard at the
+// time of the loss is simply abandoned — the coordinator's lease
+// machinery reschedules it, and if this worker already computed the
+// result, the reschedule's duplicate is deduplicated upstream.
+func RunWorker(ctx context.Context, opts WorkerOptions) error {
+	w := &worker{opts: opts.withDefaults(), execs: map[string]Executor{}, prep: map[string]int{}}
+	defer w.closeConn()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if w.conn == nil {
+			if err := w.connect(ctx); err != nil {
+				if w.joined && ctx.Err() == nil {
+					// The coordinator we once served is gone: the run is
+					// over (or we are fenced off); drain out cleanly rather
+					// than reporting the expected post-shutdown dial failure.
+					return nil
+				}
+				return err
+			}
+		}
+		err := w.serve(ctx)
+		switch {
+		case err == nil:
+			return nil // clean shutdown
+		case errors.Is(err, ErrKilled):
+			return ErrKilled
+		case ctx.Err() != nil:
+			return ctx.Err()
+		default:
+			// Connection-level failure (dropconn fault, coordinator
+			// restart, transient refusal): redial and rejoin.
+			w.closeConn()
+		}
+	}
+}
+
+func (w *worker) closeConn() {
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+}
+
+// connect dials the coordinator, says Hello, and derives the
+// heartbeat interval from the acknowledged lease.
+func (w *worker) connect(ctx context.Context) error {
+	var lastErr error
+	for i := 0; i < w.opts.Reconnects; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		d := net.Dialer{Timeout: 2 * time.Second}
+		conn, err := d.DialContext(ctx, "tcp", w.opts.Addr)
+		if err != nil {
+			lastErr = err
+			if err := sleepCtx(ctx, time.Duration(i+1)*50*time.Millisecond); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := writeMsg(conn, &Msg{Type: MsgHello, Worker: w.opts.ID}); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		var ack Msg
+		if err := readMsg(conn, &ack); err != nil || ack.Type != MsgHelloAck {
+			conn.Close()
+			if err == nil {
+				err = fmt.Errorf("shard: unexpected %s instead of hello-ack", ack.Type)
+			}
+			lastErr = err
+			continue
+		}
+		w.conn = conn
+		w.joined = true
+		if w.opts.Heartbeat <= 0 {
+			if lease := time.Duration(ack.LeaseMs) * time.Millisecond; lease > 0 {
+				w.opts.Heartbeat = lease / 3
+			} else {
+				w.opts.Heartbeat = 500 * time.Millisecond
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("shard: worker %s cannot reach coordinator %s: %w",
+		w.opts.ID, w.opts.Addr, lastErr)
+}
+
+// send writes one frame to a pinned connection, serialized against
+// the heartbeat goroutine. Callers pass the conn they captured at
+// serve entry rather than reading w.conn, which the outer reconnect
+// loop mutates; a stale conn just yields a write error.
+func (w *worker) send(conn net.Conn, m *Msg) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeMsg(conn, m)
+}
+
+// serve runs the pull loop over the current connection. Returns nil on
+// Shutdown, ErrKilled on a killworker fault, and a transport error
+// otherwise (the caller redials).
+func (w *worker) serve(ctx context.Context) error {
+	conn := w.conn
+
+	// Heartbeats flow from a side goroutine for the lifetime of this
+	// connection, so a worker grinding through a long shard still beats
+	// and keeps its lease. It stops when the connection dies.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		t := time.NewTicker(w.opts.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if w.send(conn, &Msg{Type: MsgHeartbeat, Worker: w.opts.ID}) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	// Unblock the blocking read when ctx is cancelled.
+	go func() {
+		<-hbCtx.Done()
+		conn.SetReadDeadline(time.Now())
+	}()
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := w.send(conn, &Msg{Type: MsgPull, Worker: w.opts.ID}); err != nil {
+			return err
+		}
+		var m Msg
+		if err := readMsg(conn, &m); err != nil {
+			return err
+		}
+		switch m.Type {
+		case MsgShutdown:
+			return nil
+		case MsgNoWork:
+			if err := sleepCtx(ctx, w.opts.PullDelay); err != nil {
+				return err
+			}
+		case MsgAssign:
+			if err := w.executeShard(ctx, conn, &m); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("shard: worker %s: unexpected %s frame", w.opts.ID, m.Type)
+		}
+	}
+}
+
+// executeShard runs one assigned shard: fault trip-points at the shard
+// boundary, bounded local retries around the task loop, then the
+// result frame. Returning an error tears the connection down (the
+// outer loop decides whether to redial).
+func (w *worker) executeShard(ctx context.Context, conn net.Conn, m *Msg) error {
+	label := w.opts.ID + "/" + m.Kernel
+	disrupt, err := w.opts.Plan.ShardFault(ctx, label)
+	if err != nil {
+		return err // cancelled mid-slowshard
+	}
+	if disrupt.Kill {
+		// Die like a lost process: no result, no goodbye. The lease
+		// expires or the conn close is noticed, and the shard reschedules.
+		return ErrKilled
+	}
+
+	tasks, err := DecodeTasks(m.Tasks)
+	if err != nil {
+		return w.send(conn, &Msg{
+			Type: MsgResult, Worker: w.opts.ID, Job: m.Job,
+			Shard: m.Shard, Attempt: m.Attempt, Err: err.Error(),
+		})
+	}
+
+	start := time.Now()
+	var digests []uint64
+	var ops uint64
+	runErr := resilience.Run(ctx, "shard:"+m.Kernel, w.opts.Retry, func(actx context.Context) error {
+		ex, err := w.executor(m.Kernel, m.Size, m.Seed, len(tasks))
+		if err != nil {
+			return err
+		}
+		digests = digests[:0]
+		if cap(digests) < len(tasks) {
+			digests = make([]uint64, 0, len(tasks))
+		}
+		ops = 0
+		for _, t := range tasks {
+			if err := w.opts.Plan.PointAt(actx, label); err != nil {
+				return err
+			}
+			d, o, err := ex.RunTask(actx, t)
+			if err != nil {
+				return err
+			}
+			digests = append(digests, d)
+			ops += o
+		}
+		return nil
+	})
+
+	if disrupt.Drop {
+		// Partition after compute, before report: the freshest possible
+		// lost result. Tear the connection down; the outer loop redials
+		// and the coordinator reschedules this shard.
+		return fmt.Errorf("shard: worker %s dropped connection (fault injection)", w.opts.ID)
+	}
+
+	res := &Msg{
+		Type: MsgResult, Worker: w.opts.ID, Job: m.Job,
+		Shard: m.Shard, Attempt: m.Attempt,
+		ElapsedNs: time.Since(start).Nanoseconds(),
+	}
+	if runErr != nil {
+		res.Err = runErr.Error()
+	} else {
+		res.Digests = digests
+		res.Ops = ops
+	}
+	return w.send(conn, res)
+}
+
+// executor returns the prepared executor for (kernel, size, seed),
+// building and preparing it on first use. Workers keep one executor
+// per job key; the suite runs kernels serially, so the map stays tiny,
+// and a rescheduled shard of an earlier kernel still finds its dataset
+// warm.
+func (w *worker) executor(kernel, size string, seed int64, want int) (Executor, error) {
+	key := fmt.Sprintf("%s|%s|%d", kernel, size, seed)
+	if ex, ok := w.execs[key]; ok {
+		return ex, nil
+	}
+	ex, err := NewExecutor(kernel)
+	if err != nil {
+		return nil, err
+	}
+	n, err := ex.Prepare(size, seed)
+	if err != nil {
+		return nil, fmt.Errorf("shard: preparing %s: %w", key, err)
+	}
+	_ = want // the coordinator partitioned [0, n); any task index it sends is < n
+	w.execs[key] = ex
+	w.prep[key] = n
+	return ex, nil
+}
