@@ -9,10 +9,17 @@
 // samples. Malformed NDJSON is a hard error (exit 1), which is what CI
 // leans on to validate metrics files.
 //
+// With -history it renders the BENCH_HISTORY.ndjson speedup
+// trajectories: one table per host class, a sparkline per pair with
+// first/best/latest speedup and the drift off best-ever, so a quiet
+// slide across PRs is visible at a glance instead of buried in
+// individual BENCH_PRn.json diffs.
+//
 // Usage:
 //
 //	gbench-report > report.md
 //	gbench -bench all -metrics out.ndjson && gbench-report -metrics out.ndjson
+//	gbench-report -history BENCH_HISTORY.ndjson
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchjson"
 	"repro/internal/core"
 )
 
@@ -30,7 +38,8 @@ func main() {
 		size        = flag.String("size", "small", "dataset size for measured tables")
 		seed        = flag.Int64("seed", 42, "dataset seed")
 		metricsPath = flag.String("metrics", "", "render tables from a gbench -metrics NDJSON file")
-		full        = flag.Bool("full", false, "with -metrics, also regenerate the full paper report")
+		historyPath = flag.String("history", "", "render speedup trend tables from a BENCH_HISTORY.ndjson file")
+		full        = flag.Bool("full", false, "with -metrics/-history, also regenerate the full paper report")
 	)
 	flag.Parse()
 	sz, err := core.ParseSize(*size)
@@ -41,6 +50,15 @@ func main() {
 
 	if *metricsPath != "" {
 		if err := renderMetrics(*metricsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "gbench-report: %v\n", err)
+			os.Exit(1)
+		}
+		if !*full && *historyPath == "" {
+			return
+		}
+	}
+	if *historyPath != "" {
+		if err := renderHistory(*historyPath); err != nil {
 			fmt.Fprintf(os.Stderr, "gbench-report: %v\n", err)
 			os.Exit(1)
 		}
@@ -92,6 +110,82 @@ func main() {
 		title := strings.SplitN(t.Title, ":", 2)[0]
 		fmt.Printf("### %s\n\n```\n%s```\n\n", title, t.String())
 	}
+}
+
+// renderHistory renders the bench-history trend tables: per host
+// class, each pair's speedup sparkline with first/best/latest and the
+// drift off best-ever, then the trend gate's verdict on the newest
+// record. The rendering is read-only — the gate that FAILS CI lives in
+// gbench-bench -compare -history; this is the human-facing view.
+func renderHistory(path string) error {
+	records, dropped, err := benchjson.ReadHistoryFile(path)
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("%s holds no history records", path)
+	}
+	fmt.Printf("# Bench history trends\n\n")
+	fmt.Printf("%d records in %s", len(records), path)
+	if dropped {
+		fmt.Printf(" (one truncated trailing record dropped)")
+	}
+	first, last := records[0], records[len(records)-1]
+	fmt.Printf(", %s -> %s.\n\n", labelOr(first, "#1"), labelOr(last, fmt.Sprintf("#%d", len(records))))
+
+	trends := benchjson.Trends(records)
+	byHost := map[string][]*benchjson.Trend{}
+	var hosts []string
+	for _, t := range trends {
+		if _, ok := byHost[t.HostKey]; !ok {
+			hosts = append(hosts, t.HostKey)
+		}
+		byHost[t.HostKey] = append(byHost[t.HostKey], t)
+	}
+	for _, hk := range hosts {
+		name := hk
+		if name == "" {
+			name = "unknown host"
+		}
+		fmt.Printf("## Host %s\n\n", name)
+		fmt.Println("| pair | trend | first | best | latest | drift |")
+		fmt.Println("|---|---|---|---|---|---|")
+		for _, t := range byHost[hk] {
+			pair := t.Kernel + "/" + t.Pair
+			if t.Skipped {
+				fmt.Printf("| %s | _skipped: needs %d cores_ | | | | |\n", pair, t.Threads)
+				continue
+			}
+			fmt.Printf("| %s | `%s` | %.2fx | %.2fx | %.2fx | %.0f%% |\n",
+				pair, benchjson.Sparkline(t.Speedups), t.First(), t.Best(), t.Last(), t.DriftPct())
+		}
+		fmt.Println()
+	}
+
+	v := benchjson.TrendGate(records, benchjson.TrendOptions{})
+	fmt.Println("## Trend gate on latest record")
+	fmt.Println()
+	if len(v.Failures) == 0 && len(v.Warnings) == 0 {
+		fmt.Println("No drift beyond tolerance.")
+	}
+	for _, f := range v.Failures {
+		fmt.Printf("- **FAIL** %s\n", f)
+	}
+	for _, w := range v.Warnings {
+		fmt.Printf("- WARN %s\n", w)
+	}
+	for _, s := range v.Skipped {
+		fmt.Printf("- skipped %s\n", s)
+	}
+	fmt.Println()
+	return nil
+}
+
+func labelOr(r *benchjson.Report, fallback string) string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return fallback
 }
 
 // renderMetrics parses a gbench -metrics NDJSON file and renders its

@@ -1,19 +1,27 @@
 // Package benchjson defines the stable JSON schema the gbench-bench
-// harness emits (BENCH_PR3.json) and the tolerance-based comparison
-// used for CI regression gating. Each entry pairs a baseline variant
-// (scalar / allocating) with its optimized counterpart (bit-parallel /
-// pooled) for one kernel, so the file documents both absolute cost and
-// the speedup the optimization is expected to hold.
+// harness emits (BENCH_PR3.json and its successors), the append-only
+// BENCH_HISTORY.ndjson trajectory built from those reports, and the
+// comparison/trend gates CI leans on. Each entry pairs a baseline
+// variant (scalar / allocating) with its optimized counterpart
+// (bit-parallel / pooled) for one kernel, so a report documents both
+// absolute cost and the speedup the optimization is expected to hold;
+// the history records how both evolve PR over PR.
 package benchjson
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Schema identifies the report format; bump on breaking changes.
+// Host, label, threads and note fields were added after PR5 — they are
+// optional, so v1 files written before them still parse (their host is
+// simply unknown).
 const Schema = "gbench-bench/v1"
 
 // Metrics are one benchmark variant's measured costs.
@@ -25,18 +33,64 @@ type Metrics struct {
 	Iterations  int     `json:"iterations"`    // b.N the measurement ran for
 }
 
+// Host identifies the machine class a report was measured on. Thread
+// pairs are only meaningful when NumCPU can actually exercise them,
+// and trend comparisons are only meaningful within one host class —
+// both gates consult this record.
+type Host struct {
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version,omitempty"`
+}
+
+// Key renders the host class as a compact stable string, e.g.
+// "linux/amd64/c1". GOMAXPROCS and the Go version are provenance, not
+// identity: the same box at a different GOMAXPROCS is still the same
+// hardware.
+func (h Host) Key() string {
+	return fmt.Sprintf("%s/%s/c%d", h.OS, h.Arch, h.NumCPU)
+}
+
 // Entry is one before/after benchmark pair.
 type Entry struct {
 	Kernel    string  `json:"kernel"` // e.g. "bsw"
 	Pair      string  `json:"pair"`   // e.g. "align"
+	Threads   int     `json:"threads,omitempty"`
 	Baseline  Metrics `json:"baseline"`
 	Optimized Metrics `json:"optimized"`
 	Speedup   float64 `json:"speedup"` // baseline ns / optimized ns
 }
 
-// Report is the top-level BENCH_PR3.json document.
+// ThreadCount returns the thread count a */threads pair was measured
+// at: the recorded Threads field when present, else parsed from the
+// optimized variant's ".../tN" name suffix (reports written before the
+// field existed), else 0 for single-threaded pairs.
+func (e *Entry) ThreadCount() int {
+	if e.Threads > 0 {
+		return e.Threads
+	}
+	name := e.Optimized.Name
+	i := strings.LastIndexByte(name, '/')
+	if i < 0 || i+2 > len(name) || name[i+1] != 't' {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+2:])
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+}
+
+// Report is the top-level document: one committed BENCH_PRn.json file,
+// or one line of BENCH_HISTORY.ndjson.
 type Report struct {
 	Schema  string  `json:"schema"`
+	Label   string  `json:"label,omitempty"` // e.g. "PR7"; set on history records
+	Time    string  `json:"time,omitempty"`  // RFC3339 measurement time, provenance only
+	Host    *Host   `json:"host,omitempty"`  // nil on pre-PR7 reports
+	Note    string  `json:"note,omitempty"`  // e.g. "reconstructed from BENCH_PR3.json"
 	Entries []Entry `json:"entries"`
 }
 
@@ -62,18 +116,58 @@ func (r *Report) Find(kernel, pair string) *Entry {
 	return nil
 }
 
+// Validate checks the invariants every consumer of a report assumes:
+// the schema stamp, unique (kernel, pair) keys, and finite positive
+// timings. Duplicate pairs would silently shadow each other in Find
+// and corrupt trend computation; a zero or non-finite ns_per_op would
+// turn a speedup or a trend ratio into NaN/Inf. Read and AppendHistory
+// both enforce this.
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("benchjson: schema %q, want %q", r.Schema, Schema)
+	}
+	seen := make(map[string]bool, len(r.Entries))
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		if e.Kernel == "" || e.Pair == "" {
+			return fmt.Errorf("benchjson: entry %d: empty kernel/pair", i)
+		}
+		key := e.Kernel + "/" + e.Pair
+		if seen[key] {
+			return fmt.Errorf("benchjson: duplicate pair %s", key)
+		}
+		seen[key] = true
+		for _, m := range []struct {
+			side string
+			v    float64
+		}{{"baseline", e.Baseline.NsPerOp}, {"optimized", e.Optimized.NsPerOp}} {
+			if math.IsNaN(m.v) || math.IsInf(m.v, 0) || m.v <= 0 {
+				return fmt.Errorf("benchjson: %s: %s ns_per_op %v is not finite positive", key, m.side, m.v)
+			}
+		}
+		if math.IsNaN(e.Speedup) || math.IsInf(e.Speedup, 0) || e.Speedup < 0 {
+			return fmt.Errorf("benchjson: %s: speedup %v is not finite", key, e.Speedup)
+		}
+	}
+	return nil
+}
+
 // Write emits the report as indented JSON with entries in stable
 // (kernel, pair) order, so committed baselines diff cleanly.
 func Write(w io.Writer, r *Report) error {
+	sortEntries(r)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func sortEntries(r *Report) {
 	sort.SliceStable(r.Entries, func(i, j int) bool {
 		if r.Entries[i].Kernel != r.Entries[j].Kernel {
 			return r.Entries[i].Kernel < r.Entries[j].Kernel
 		}
 		return r.Entries[i].Pair < r.Entries[j].Pair
 	})
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(r)
 }
 
 // Read parses and validates a report.
@@ -83,8 +177,8 @@ func Read(rd io.Reader) (*Report, error) {
 	if err := dec.Decode(&r); err != nil {
 		return nil, fmt.Errorf("benchjson: parse: %w", err)
 	}
-	if r.Schema != Schema {
-		return nil, fmt.Errorf("benchjson: schema %q, want %q", r.Schema, Schema)
+	if err := r.Validate(); err != nil {
+		return nil, err
 	}
 	return &r, nil
 }
@@ -100,28 +194,102 @@ func (g Regression) String() string {
 	return fmt.Sprintf("%s/%s: %s", g.Kernel, g.Pair, g.Reason)
 }
 
-// Compare checks current against baseline: every baseline pair must
-// still exist, and its optimized variant must not have slowed down by
-// more than the tolerance factor (tolerance 1.25 allows 25% slowdown;
-// CI smoke runs use a generous factor because single-iteration timings
-// are noisy). Returns the list of regressions, empty when clean.
+// Skip is one pair the gate deliberately did not judge, with the
+// reason — reported distinctly from a pass so a one-core host's ~1x
+// thread pairs never masquerade as healthy scaling.
+type Skip struct {
+	Kernel string
+	Pair   string
+	Reason string
+}
+
+func (s Skip) String() string {
+	return fmt.Sprintf("%s/%s: %s", s.Kernel, s.Pair, s.Reason)
+}
+
+// CompareOptions tunes CompareDetailed. Both tolerances are factors
+// >= 1 (clamped): NsTolerance bounds how much slower the optimized
+// variant's absolute ns/op may get; SpeedupTolerance bounds how far
+// the speedup ratio may shrink. Gating both closes the two silent
+// failure modes a single gate invites — a change that slows baseline
+// and optimized equally holds its ratio while the absolute cost
+// regresses, and a baseline-side improvement (or a reverted
+// optimization) collapses the ratio while absolute cost looks fine.
+type CompareOptions struct {
+	NsTolerance      float64
+	SpeedupTolerance float64
+}
+
+// CompareResult separates judged failures from pairs the gate could
+// not meaningfully judge on this host.
+type CompareResult struct {
+	Regressions []Regression
+	Skipped     []Skip
+}
+
+// Compare checks current against baseline with the same factor for
+// both gates: every baseline pair must still exist, its optimized
+// variant must not have slowed by more than the tolerance, and its
+// speedup must not have shrunk by more than the tolerance.
 func Compare(baseline, current *Report, tolerance float64) []Regression {
-	if tolerance < 1 {
-		tolerance = 1
+	return CompareDetailed(baseline, current, CompareOptions{
+		NsTolerance:      tolerance,
+		SpeedupTolerance: tolerance,
+	}).Regressions
+}
+
+// CompareDetailed is Compare with independent tolerances and skip
+// accounting. Thread-axis pairs are skipped (not passed) when the
+// current host's core count cannot exercise the pair's thread count —
+// on a one-core host a */threads ratio is an oversubscription artifact,
+// not a measurement.
+func CompareDetailed(baseline, current *Report, opt CompareOptions) CompareResult {
+	if opt.NsTolerance < 1 {
+		opt.NsTolerance = 1
 	}
-	var regs []Regression
+	if opt.SpeedupTolerance < 1 {
+		opt.SpeedupTolerance = 1
+	}
+	var res CompareResult
 	for i := range baseline.Entries {
 		be := &baseline.Entries[i]
 		ce := current.Find(be.Kernel, be.Pair)
 		if ce == nil {
-			regs = append(regs, Regression{be.Kernel, be.Pair, "pair missing from current report"})
+			res.Regressions = append(res.Regressions, Regression{be.Kernel, be.Pair, "pair missing from current report"})
 			continue
 		}
-		if be.Optimized.NsPerOp > 0 && ce.Optimized.NsPerOp > be.Optimized.NsPerOp*tolerance {
-			regs = append(regs, Regression{be.Kernel, be.Pair, fmt.Sprintf(
+		if reason, skip := skipReason(ce, current.Host); skip {
+			res.Skipped = append(res.Skipped, Skip{be.Kernel, be.Pair, reason})
+			continue
+		}
+		var reasons []string
+		if be.Optimized.NsPerOp > 0 && ce.Optimized.NsPerOp > be.Optimized.NsPerOp*opt.NsTolerance {
+			reasons = append(reasons, fmt.Sprintf(
 				"optimized path slowed %.0fns -> %.0fns/op (tolerance %.2fx)",
-				be.Optimized.NsPerOp, ce.Optimized.NsPerOp, tolerance)})
+				be.Optimized.NsPerOp, ce.Optimized.NsPerOp, opt.NsTolerance))
+		}
+		if be.Speedup > 0 && ce.Speedup > 0 && ce.Speedup < be.Speedup/opt.SpeedupTolerance {
+			reasons = append(reasons, fmt.Sprintf(
+				"speedup shrank %.2fx -> %.2fx (tolerance %.2fx)",
+				be.Speedup, ce.Speedup, opt.SpeedupTolerance))
+		}
+		if len(reasons) > 0 {
+			res.Regressions = append(res.Regressions, Regression{be.Kernel, be.Pair, strings.Join(reasons, "; ")})
 		}
 	}
-	return regs
+	return res
+}
+
+// skipReason reports whether an entry's measurement is meaningless on
+// the host that produced it. Unknown hosts (pre-PR7 reports) are
+// assumed capable, preserving the old gate's behavior on old files.
+func skipReason(e *Entry, h *Host) (string, bool) {
+	t := e.ThreadCount()
+	if t <= 1 || h == nil {
+		return "", false
+	}
+	if h.NumCPU < t {
+		return fmt.Sprintf("thread pair needs %d cores, host %s has %d", t, h.Key(), h.NumCPU), true
+	}
+	return "", false
 }

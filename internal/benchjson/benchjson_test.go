@@ -2,6 +2,8 @@ package benchjson
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -93,6 +95,114 @@ func TestCompareFlagsMissingPair(t *testing.T) {
 	regs := Compare(base, cur, 10)
 	if len(regs) != 1 || !strings.Contains(regs[0].String(), "missing") {
 		t.Fatalf("regressions = %v", regs)
+	}
+}
+
+func TestReadRejectsDuplicatePairs(t *testing.T) {
+	r := sample()
+	r.Entries = append(r.Entries, r.Entries[0])
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate (kernel, pair) accepted: %v", err)
+	}
+}
+
+func TestReadRejectsNonPositiveNs(t *testing.T) {
+	// A zero optimized ns_per_op is the root of every NaN/Inf speedup
+	// a downstream trend computation could produce; it must not parse.
+	in := `{"schema":"gbench-bench/v1","entries":[{"kernel":"k","pair":"p",
+	 "baseline":{"name":"b","ns_per_op":100},
+	 "optimized":{"name":"o","ns_per_op":0},"speedup":0}]}`
+	if _, err := Read(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "finite positive") {
+		t.Fatalf("zero ns_per_op accepted: %v", err)
+	}
+}
+
+func TestValidateRejectsNonFiniteSpeedup(t *testing.T) {
+	r := sample()
+	r.Entries[0].Speedup = math.Inf(1)
+	if err := r.Validate(); err == nil {
+		t.Fatal("Inf speedup accepted")
+	}
+	r.Entries[0].Speedup = math.NaN()
+	if err := r.Validate(); err == nil {
+		t.Fatal("NaN speedup accepted")
+	}
+}
+
+func TestCompareGatesSpeedupRatio(t *testing.T) {
+	// Baseline and optimized slowed equally: the absolute gate alone
+	// would pass this silently; the committed record's pairing means
+	// BOTH variants slowing is still a regression worth failing.
+	base := sample()
+	cur := sample()
+	e := cur.Find("bsw", "align")
+	e.Baseline.NsPerOp *= 4
+	e.Optimized.NsPerOp *= 4
+	// Ratio intact, absolute ns 4x over: ns gate fires at 1.25.
+	regs := Compare(base, cur, 1.25)
+	if len(regs) != 1 || !strings.Contains(regs[0].Reason, "optimized path slowed") {
+		t.Fatalf("equal slowdown passed: %v", regs)
+	}
+	// Conversely: absolute ns fine, ratio collapsed (baseline sped up
+	// 4x while optimized held). The ratio gate fires.
+	cur = sample()
+	e = cur.Find("bsw", "align")
+	e.Baseline.NsPerOp /= 4
+	e.Speedup = e.Baseline.NsPerOp / e.Optimized.NsPerOp
+	regs = Compare(base, cur, 1.25)
+	if len(regs) != 1 || !strings.Contains(regs[0].Reason, "speedup shrank") {
+		t.Fatalf("ratio collapse passed: %v", regs)
+	}
+}
+
+func TestCompareDetailedSkipsUnexercisableThreadPairs(t *testing.T) {
+	mk := func(host *Host) *Report {
+		r := New()
+		r.Host = host
+		r.Entries = append(r.Entries, Entry{
+			Kernel: "grm", Pair: "threads", Threads: 4,
+			Baseline:  Metrics{Name: "grm/threads/t1", NsPerOp: 1000, Iterations: 1},
+			Optimized: Metrics{Name: "grm/threads/t4", NsPerOp: 1000, Iterations: 1},
+			Speedup:   1,
+		})
+		return r
+	}
+	base := mk(nil)
+	cur := mk(&Host{OS: "linux", Arch: "amd64", NumCPU: 1, GOMAXPROCS: 1})
+	cur.Entries[0].Optimized.NsPerOp = 50000 // would fail both gates
+	cur.Entries[0].Speedup = 0.02
+	res := CompareDetailed(base, cur, CompareOptions{NsTolerance: 1.25, SpeedupTolerance: 1.25})
+	if len(res.Regressions) != 0 {
+		t.Fatalf("one-core thread pair judged: %+v", res.Regressions)
+	}
+	if len(res.Skipped) != 1 || !strings.Contains(res.Skipped[0].String(), "cores") {
+		t.Fatalf("skipped = %+v", res.Skipped)
+	}
+	// A capable host is judged normally.
+	cur.Host = &Host{OS: "linux", Arch: "amd64", NumCPU: 8, GOMAXPROCS: 8}
+	res = CompareDetailed(base, cur, CompareOptions{NsTolerance: 1.25, SpeedupTolerance: 1.25})
+	if len(res.Skipped) != 0 || len(res.Regressions) != 1 {
+		t.Fatalf("capable host: %+v", res)
+	}
+}
+
+func TestThreadCountParsesLegacyNames(t *testing.T) {
+	e := Entry{Optimized: Metrics{Name: "pileup/threads/t4"}}
+	if e.ThreadCount() != 4 {
+		t.Fatalf("ThreadCount = %d, want 4 from name", e.ThreadCount())
+	}
+	e = Entry{Threads: 8, Optimized: Metrics{Name: "pileup/threads/t4"}}
+	if e.ThreadCount() != 8 {
+		t.Fatalf("ThreadCount = %d, want recorded field to win", e.ThreadCount())
+	}
+	e = Entry{Optimized: Metrics{Name: "bsw/align/packed"}}
+	if e.ThreadCount() != 0 {
+		t.Fatalf("ThreadCount = %d, want 0 for non-thread pair", e.ThreadCount())
 	}
 }
 

@@ -1,0 +1,271 @@
+package benchjson
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// histReport builds one history record on the given host with the
+// given (kernel/pair -> baseline ns, optimized ns) measurements.
+func histReport(label string, host *Host, pairs map[string][2]float64) *Report {
+	r := New()
+	r.Label = label
+	r.Host = host
+	for kp, ns := range pairs {
+		parts := strings.SplitN(kp, "/", 2)
+		r.Add(parts[0], parts[1],
+			Metrics{Name: kp + "/base", NsPerOp: ns[0], Iterations: 10},
+			Metrics{Name: kp + "/opt", NsPerOp: ns[1], Iterations: 10})
+	}
+	sortEntries(r)
+	return r
+}
+
+var oneCore = &Host{OS: "linux", Arch: "amd64", NumCPU: 1, GOMAXPROCS: 1}
+
+func TestHistoryAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.ndjson")
+	r1 := histReport("PR3", oneCore, map[string][2]float64{"bsw/align": {100, 50}})
+	r2 := histReport("PR4", oneCore, map[string][2]float64{"bsw/align": {100, 52}, "poa/lanes": {300, 100}})
+	for _, r := range []*Report{r1, r2} {
+		if err := AppendHistory(path, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, dropped, err := ReadHistoryFile(path)
+	if err != nil || dropped {
+		t.Fatalf("read: err=%v dropped=%v", err, dropped)
+	}
+	if len(recs) != 2 || recs[0].Label != "PR3" || recs[1].Label != "PR4" {
+		t.Fatalf("records mangled: %+v", recs)
+	}
+	if e := recs[1].Find("poa", "lanes"); e == nil || e.Speedup != 3 {
+		t.Fatalf("entry mangled: %+v", e)
+	}
+	if recs[0].Host == nil || recs[0].Host.Key() != "linux/amd64/c1" {
+		t.Fatalf("host mangled: %+v", recs[0].Host)
+	}
+}
+
+func TestAppendHistoryRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.ndjson")
+	bad := histReport("PR3", oneCore, map[string][2]float64{"bsw/align": {100, 50}})
+	bad.Entries = append(bad.Entries, bad.Entries[0]) // duplicate pair
+	if err := AppendHistory(path, bad); err == nil {
+		t.Fatal("duplicate pair appended")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("invalid record touched the file")
+	}
+}
+
+func TestReadHistoryRecoversTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.ndjson")
+	good := histReport("PR3", oneCore, map[string][2]float64{"bsw/align": {100, 50}})
+	if err := AppendHistory(path, good); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a write killed mid-record: a half JSON line at the tail.
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString(`{"schema":"gbench-bench/v1","label":"PR4","entries":[{"kern`)
+	f.Close()
+	recs, dropped, err := ReadHistoryFile(path)
+	if err != nil {
+		t.Fatalf("truncated tail not recovered: %v", err)
+	}
+	if !dropped || len(recs) != 1 || recs[0].Label != "PR3" {
+		t.Fatalf("recovery wrong: dropped=%v recs=%+v", dropped, recs)
+	}
+	// The appender self-heals: the partial tail is cut back to the
+	// last complete line, so the next record lands intact and the file
+	// reads clean again.
+	if err := AppendHistory(path, histReport("PR4", oneCore, map[string][2]float64{"bsw/align": {100, 51}})); err != nil {
+		t.Fatal(err)
+	}
+	recs, dropped, err = ReadHistoryFile(path)
+	if err != nil || dropped {
+		t.Fatalf("after healing append: err=%v dropped=%v", err, dropped)
+	}
+	if len(recs) != 2 || recs[1].Label != "PR4" {
+		t.Fatalf("healed history wrong: %+v", recs)
+	}
+}
+
+func TestReadHistoryMidFileCorruptionIsFatal(t *testing.T) {
+	in := `{"schema":"gbench-bench/v1","label":"A","entries":[]}
+garbage line
+{"schema":"gbench-bench/v1","label":"B","entries":[]}
+`
+	if _, _, err := ReadHistory(strings.NewReader(in)); err == nil {
+		t.Fatal("corrupt middle line accepted")
+	}
+}
+
+func TestReadHistoryInvalidEntryTailDropped(t *testing.T) {
+	// Parseable JSON whose record fails validation (zero ns_per_op)
+	// is treated like any other bad tail line.
+	in := `{"schema":"gbench-bench/v1","label":"A","entries":[]}
+{"schema":"gbench-bench/v1","label":"B","entries":[{"kernel":"x","pair":"y","baseline":{"ns_per_op":0},"optimized":{"ns_per_op":1},"speedup":0}]}
+`
+	recs, dropped, err := ReadHistory(strings.NewReader(in))
+	if err != nil || !dropped || len(recs) != 1 {
+		t.Fatalf("err=%v dropped=%v recs=%d", err, dropped, len(recs))
+	}
+}
+
+func TestTrendsGroupByHostAndSummarize(t *testing.T) {
+	otherHost := &Host{OS: "linux", Arch: "amd64", NumCPU: 8, GOMAXPROCS: 8}
+	hist := []*Report{
+		histReport("PR3", oneCore, map[string][2]float64{"bsw/align": {200, 100}}),
+		histReport("PR4", oneCore, map[string][2]float64{"bsw/align": {200, 125}}),
+		histReport("PR5", otherHost, map[string][2]float64{"bsw/align": {200, 80}}),
+	}
+	trends := Trends(hist)
+	if len(trends) != 2 {
+		t.Fatalf("trends = %d, want 2 host-class trajectories", len(trends))
+	}
+	var one *Trend
+	for _, tr := range trends {
+		if tr.HostKey == "linux/amd64/c1" {
+			one = tr
+		}
+	}
+	if one == nil || len(one.Speedups) != 2 {
+		t.Fatalf("one-core trend missing: %+v", trends)
+	}
+	if one.First() != 2.0 || one.Best() != 2.0 || one.Last() != 1.6 {
+		t.Fatalf("summary wrong: first %v best %v last %v", one.First(), one.Best(), one.Last())
+	}
+	if math.Abs(one.DriftPct()-20) > 1e-9 {
+		t.Fatalf("drift = %v, want 20%%", one.DriftPct())
+	}
+}
+
+// TestTrendGateMonotoneDrift drives the gate over a synthetic
+// monotone slide with the optimized path itself regressing: both the
+// below-best and monotone rules must fire.
+func TestTrendGateMonotoneDrift(t *testing.T) {
+	hist := []*Report{
+		histReport("P1", oneCore, map[string][2]float64{"k/p": {1000, 500}}), // 2.00x, 500ns
+		histReport("P2", oneCore, map[string][2]float64{"k/p": {1000, 550}}), // 1.82x
+		histReport("P3", oneCore, map[string][2]float64{"k/p": {1000, 610}}), // 1.64x
+		histReport("P4", oneCore, map[string][2]float64{"k/p": {1000, 700}}), // 1.43x, 40% over best ns
+	}
+	v := TrendGate(hist, TrendOptions{})
+	if len(v.Failures) == 0 {
+		t.Fatalf("monotone corroborated drift passed: %+v", v)
+	}
+	joined := ""
+	for _, f := range v.Failures {
+		joined += f.String() + "\n"
+	}
+	if !strings.Contains(joined, "below best-ever") || !strings.Contains(joined, "monotonically") {
+		t.Fatalf("expected both rules to fire:\n%s", joined)
+	}
+}
+
+// TestTrendGateNoisyButStable: a trajectory that wobbles inside the
+// tolerance band must pass untouched.
+func TestTrendGateNoisyButStable(t *testing.T) {
+	hist := []*Report{
+		histReport("P1", oneCore, map[string][2]float64{"k/p": {1000, 500}}), // 2.00x
+		histReport("P2", oneCore, map[string][2]float64{"k/p": {1000, 540}}), // 1.85x
+		histReport("P3", oneCore, map[string][2]float64{"k/p": {1000, 510}}), // 1.96x
+		histReport("P4", oneCore, map[string][2]float64{"k/p": {1000, 530}}), // 1.89x
+	}
+	v := TrendGate(hist, TrendOptions{})
+	if len(v.Failures) != 0 || len(v.Warnings) != 0 {
+		t.Fatalf("stable trajectory flagged: %+v", v)
+	}
+}
+
+// TestTrendGateBaselineMovementWarnsOnly: the speedup collapses
+// because the baseline side got faster, while the optimized path sets
+// a new record — a warning, not a failure.
+func TestTrendGateBaselineMovementWarnsOnly(t *testing.T) {
+	hist := []*Report{
+		histReport("P1", oneCore, map[string][2]float64{"k/p": {1000, 500}}), // 2.00x
+		histReport("P2", oneCore, map[string][2]float64{"k/p": {700, 480}}),  // 1.46x, new best ns
+	}
+	v := TrendGate(hist, TrendOptions{})
+	if len(v.Failures) != 0 {
+		t.Fatalf("uncorroborated drift failed the gate: %+v", v.Failures)
+	}
+	if len(v.Warnings) != 1 || !strings.Contains(v.Warnings[0].String(), "baseline-side") {
+		t.Fatalf("warnings = %+v", v.Warnings)
+	}
+}
+
+// TestTrendGateSkipsThreadPairsOnSmallHosts: a */threads pair whose
+// thread count exceeds the host's cores is reported skipped, never
+// judged, never silently passed.
+func TestTrendGateSkipsThreadPairsOnSmallHosts(t *testing.T) {
+	mk := func(label string, ns float64) *Report {
+		r := New()
+		r.Label = label
+		r.Host = oneCore
+		r.Entries = append(r.Entries, Entry{
+			Kernel: "grm", Pair: "threads", Threads: 4,
+			Baseline:  Metrics{Name: "grm/threads/t1", NsPerOp: 1000, Iterations: 1},
+			Optimized: Metrics{Name: "grm/threads/t4", NsPerOp: ns, Iterations: 1},
+			Speedup:   1000 / ns,
+		})
+		return r
+	}
+	hist := []*Report{mk("P1", 900), mk("P2", 2000)} // would be a huge "drift"
+	v := TrendGate(hist, TrendOptions{})
+	if len(v.Failures) != 0 {
+		t.Fatalf("unexercisable thread pair judged: %+v", v.Failures)
+	}
+	if len(v.Skipped) != 1 || v.Skipped[0].Kernel != "grm" {
+		t.Fatalf("skipped = %+v", v.Skipped)
+	}
+	// The same pair on a capable host is judged normally.
+	able := &Host{OS: "linux", Arch: "amd64", NumCPU: 8, GOMAXPROCS: 8}
+	for _, r := range hist {
+		r.Host = able
+	}
+	v = TrendGate(hist, TrendOptions{})
+	if len(v.Skipped) != 0 || len(v.Failures) == 0 {
+		t.Fatalf("capable host: skipped=%+v failures=%+v", v.Skipped, v.Failures)
+	}
+}
+
+// TestTrendGateHostChangeStartsFreshTrajectory: a record from a new
+// host class is not judged against another machine's speedups.
+func TestTrendGateHostChangeStartsFreshTrajectory(t *testing.T) {
+	big := &Host{OS: "linux", Arch: "amd64", NumCPU: 8, GOMAXPROCS: 8}
+	hist := []*Report{
+		histReport("P1", oneCore, map[string][2]float64{"k/p": {1000, 500}}), // 2.00x
+		histReport("P2", big, map[string][2]float64{"k/p": {1000, 900}}),     // 1.11x on new hardware
+	}
+	v := TrendGate(hist, TrendOptions{})
+	if len(v.Failures) != 0 {
+		t.Fatalf("cross-host comparison failed the gate: %+v", v.Failures)
+	}
+}
+
+func TestTrendGateFirstRecordVacuouslyPasses(t *testing.T) {
+	hist := []*Report{histReport("P1", oneCore, map[string][2]float64{"k/p": {1000, 500}})}
+	v := TrendGate(hist, TrendOptions{})
+	if len(v.Failures)+len(v.Warnings) != 0 {
+		t.Fatalf("single record flagged: %+v", v)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{1, 2, 3})
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input")
+	}
+	flat := []rune(Sparkline([]float64{5, 5}))
+	if len(flat) != 2 || flat[0] != flat[1] {
+		t.Fatalf("flat series %q", string(flat))
+	}
+}

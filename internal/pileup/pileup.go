@@ -59,11 +59,15 @@ type Region struct {
 // 32 bases, two shifts, a mask and an increment per base, no per-base
 // bounds checks. Runs below the word-walk cutover take the SWAR
 // gather (countMatchRunShort): the whole run is spliced out of its one
-// or two packed words into a single register first. Unpacked records
-// use the byte walk on the clamped run. Results are exactly
-// CountRegionScalar's (integer counters, no rounding to tolerate),
-// which the differential tests assert.
+// or two packed words into a single register first. Very short runs —
+// and every run of an unpacked record — use the byte walk on the
+// clamped run. The two thresholds are per-host tunables measured by a
+// startup microprobe (see tuning.go); the dispatch is pure routing, so
+// results are exactly CountRegionScalar's for any threshold setting
+// (integer counters, no rounding to tolerate), which the differential
+// tests assert across forced policies.
 func CountRegion(rg *Region) ([]Counts, int) {
+	wordMin, shortMin := wordRunMin.Get(), shortRunMin.Get()
 	counts := make([]Counts, rg.End-rg.Start)
 	for _, a := range rg.Alignments {
 		strand := 0
@@ -88,9 +92,9 @@ func CountRegion(rg *Region) ([]Counts, int) {
 					dst := counts[lo-rg.Start : lo-rg.Start+(hi-lo)]
 					q0 := readPos + (lo - refPos)
 					switch {
-					case packed != nil && hi-lo >= packedRunCutover:
+					case packed != nil && hi-lo >= wordMin:
 						countMatchRunPacked(dst, packed, q0, strand)
-					case packed != nil:
+					case packed != nil && hi-lo >= shortMin:
 						countMatchRunShort(dst, packed, q0, strand)
 					default:
 						run := a.Seq[q0 : q0+(hi-lo)]
@@ -121,10 +125,15 @@ func CountRegion(rg *Region) ([]Counts, int) {
 	return counts, len(rg.Alignments)
 }
 
-// packedRunCutover is the match-run length below which the packed
-// word walk's setup (word/phase split, two-level loop) costs more than
-// the byte loop it replaces. Short runs dominate noisy long-read
-// CIGARs; long runs dominate accurate (HiFi-like) ones.
+// packedRunCutover is the hard capacity bound of the short-run SWAR
+// gather: a run it handles must fit one 64-bit register after the
+// phase shift, so at most 31 bases. It caps the measured wordRunMin
+// tunable; the actual per-host dispatch thresholds live in tuning.go.
+// Short runs dominate noisy long-read CIGARs; long runs dominate
+// accurate (HiFi-like) ones — which of the three walkers wins at a
+// given length is a property of the host, so it is measured, not
+// assumed (the assumed constant is what let the pileup/count speedup
+// drift silently across BENCH_PR4 -> PR5).
 const packedRunCutover = 32
 
 // countsStride is the byte distance between consecutive positions'

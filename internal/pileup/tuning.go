@@ -1,0 +1,126 @@
+// Measured dispatch thresholds for CountRegion's match-run walkers.
+//
+// The three walkers — per-byte loop, short-run SWAR gather, packed
+// word walk — trade setup cost against per-base cost differently, and
+// which one wins at a given run length depends on the host (shift
+// latency, store-port width, cache behavior). PR4 hardcoded the word
+// walk's cutover at 32 and PR5 assumed the gather always beat the byte
+// loop below it; the committed bench history shows the pileup/count
+// speedup drifting 1.43x -> 1.13x across those PRs partly under those
+// assumptions. Both thresholds are now measured by a one-shot
+// microprobe (~1ms) on first use, per process:
+//
+//	run length >= wordRunMin  -> packed word walk
+//	run length >= shortRunMin -> SWAR gather
+//	otherwise                 -> byte walk
+//
+// The probe times the real walker functions on deterministic synthetic
+// data; pin the result with GBENCH_TUNE_PILEUP_WORD_RUN_MIN /
+// GBENCH_TUNE_PILEUP_SHORT_RUN_MIN or disable probing entirely with
+// GBENCH_TUNE=off (defaults reproduce PR5's static policy).
+package pileup
+
+import (
+	"sync"
+
+	"repro/internal/tuning"
+)
+
+var (
+	probeOnce sync.Once
+	probed    runThresholds
+)
+
+var (
+	wordRunMin = tuning.NewInt("pileup.word_run_min", packedRunCutover, 1, packedRunCutover,
+		func() int { return probeRunThresholds().word })
+	shortRunMin = tuning.NewInt("pileup.short_run_min", 0, 0, packedRunCutover,
+		func() int { return probeRunThresholds().short })
+)
+
+// probeLengths are the run lengths the microprobe samples: the short
+// regime a noisy long-read CIGAR lives in, plus the word-walk boundary.
+var probeLengths = [...]int{4, 6, 8, 12, 16, 24, 31}
+
+type runThresholds struct{ short, word int }
+
+// probeRunThresholds times the three walkers at each probe length and
+// derives the two dispatch thresholds: shortRunMin is the first length
+// from which the gather stays ahead of the byte loop, wordRunMin the
+// first length from which the word walk beats the gather (and the
+// byte loop) through the rest of the short regime. "Stays ahead" is a
+// suffix property, not a single crossing — microprobe timings wobble,
+// and a threshold only makes sense if the winner keeps winning above
+// it. Results are memoized so the two tunables share one measurement.
+func probeRunThresholds() runThresholds {
+	probeOnce.Do(func() { probed = measureRunThresholds() })
+	return probed
+}
+
+// measureRunThresholds is the actual probe body; split out for tests.
+func measureRunThresholds() runThresholds {
+	// Deterministic 2-bit pattern; the walkers never branch on base
+	// values, so any pattern exercises the full cost.
+	words := make([]uint64, 4)
+	seq := make([]byte, len(words)*32)
+	for i := range seq {
+		b := byte(i*7+3) & 3
+		seq[i] = b
+		words[i/32] |= uint64(b) << (2 * uint(i%32))
+	}
+	dst := make([]Counts, packedRunCutover)
+
+	const reps, iters = 5, 200
+	nLen := len(probeLengths)
+	byteNs := make([]float64, nLen)
+	shortNs := make([]float64, nLen)
+	wordNs := make([]float64, nLen)
+	for li, n := range probeLengths {
+		d := dst[:n]
+		// Phase 3 keeps the gather honest: a nonzero in-word phase is
+		// the common case and costs the straddle branch.
+		byteNs[li] = tuning.BestNs(reps, iters, func() {
+			run := seq[3 : 3+n]
+			for i := range d {
+				d[i].Base[0][run[i]&3]++
+			}
+		})
+		shortNs[li] = tuning.BestNs(reps, iters, func() { countMatchRunShort(d, words, 3, 0) })
+		wordNs[li] = tuning.BestNs(reps, iters, func() { countMatchRunPacked(d, words, 3, 0) })
+	}
+
+	t := runThresholds{short: 0, word: packedRunCutover}
+	// shortRunMin: smallest probed length from which the gather beats
+	// the byte loop at every probed length above it too.
+	for li := range probeLengths {
+		if suffixWins(shortNs[li:], byteNs[li:]) {
+			t.short = probeLengths[li]
+			break
+		}
+		t.short = packedRunCutover // gather never sustains a win: byte walk everywhere below word
+	}
+	// wordRunMin: smallest probed length from which the word walk beats
+	// whichever of the other two is dispatched there.
+	for li := range probeLengths {
+		other := shortNs
+		if probeLengths[li] < t.short {
+			other = byteNs
+		}
+		if suffixWins(wordNs[li:], other[li:]) {
+			t.word = probeLengths[li]
+			break
+		}
+	}
+	return t
+}
+
+// suffixWins reports whether a is at least as fast as b at every
+// sampled point.
+func suffixWins(a, b []float64) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -14,6 +14,7 @@ import (
 func addBoth(t *testing.T, gs, gl *Graph, seq genome.Seq, p Params, mode AlignMode, trial, step int) {
 	t.Helper()
 	gs.forceScalar = true
+	gl.forceLanes = true // pin the path under test past the measured work floor
 	gs.AddSequenceMode(seq, p, mode)
 	gl.AddSequenceMode(seq, p, mode)
 	if gs.NumNodes() != gl.NumNodes() || gs.NumEdges() != gl.NumEdges() {
@@ -190,9 +191,62 @@ func TestCSRSnapshotInvalidation(t *testing.T) {
 	}
 }
 
+// TestLaneMinWorkDispatch pins the measured-profitability gate: an
+// eligible window below the work floor must take the scalar path (its
+// int16 table is never grown), and the floor at zero restores lanes.
+// The consensus must not change either way — the floor is pure policy.
+func TestLaneMinWorkDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	// Small window: every alignment's V*n stays well under the floor
+	// cap, so pinning the floor to the cap must route all of them to
+	// the scalar path.
+	base := genome.Random(rng, 40)
+	w := &Window{}
+	for s := 0; s < 3; s++ {
+		seq := base.Clone()
+		seq[rng.Intn(len(seq))] = genome.Base(rng.Intn(4))
+		w.Sequences = append(w.Sequences, seq)
+	}
+	p := DefaultParams()
+	want, _ := ConsensusScalarInto(w, p, New())
+
+	restore := laneMinWork.Set(laneMinWorkCap)
+	g := New()
+	got, _ := ConsensusInto(w, p, g)
+	if len(g.score16) != 0 {
+		t.Fatal("window below the work floor still took the lane path")
+	}
+	if !got.Equal(want) {
+		t.Fatal("scalar-routed consensus diverged")
+	}
+	restore()
+
+	defer laneMinWork.Set(0)()
+	g = New()
+	got, _ = ConsensusInto(w, p, g)
+	if len(g.score16) == 0 {
+		t.Fatal("zero work floor did not restore the lane path")
+	}
+	if !got.Equal(want) {
+		t.Fatal("lane-routed consensus diverged")
+	}
+}
+
+// TestProbeLaneMinWork checks the microprobe returns an in-range,
+// cap-respecting answer on this host.
+func TestProbeLaneMinWork(t *testing.T) {
+	got := probeLaneMinWork()
+	if got < 0 || got > laneMinWorkCap {
+		t.Fatalf("probe returned %d, out of [0, %d]", got, laneMinWorkCap)
+	}
+}
+
 // BenchmarkAddSequenceLanes is the scalar-vs-lane single-thread pair
-// on realistic windows (the BENCH_PR5 shape).
+// on realistic windows (the BENCH_PR5 shape). The work floor is pinned
+// to zero so both sides measure what their names promise regardless of
+// the probe's verdict on the bench host.
 func BenchmarkAddSequenceLanes(b *testing.B) {
+	defer laneMinWork.Set(0)()
 	rng := rand.New(rand.NewSource(55))
 	windows := make([]*Window, 8)
 	for i := range windows {

@@ -85,7 +85,12 @@ type Graph struct {
 
 	// forceScalar pins AddSequence to the scalar int32 reference path
 	// (set via ConsensusScalarInto, and by differential tests).
+	// forceLanes pins eligible windows to the lane path regardless of
+	// the measured laneMinWork threshold (differential tests and the
+	// tuning microprobe, which must not consult the tunable it feeds).
+	// forceScalar wins when both are set.
 	forceScalar bool
+	forceLanes  bool
 }
 
 // New creates an empty graph.
@@ -279,7 +284,13 @@ func (g *Graph) AddSequenceMode(seq genome.Seq, p Params, mode AlignMode) {
 	order := g.topoOrder()
 	n := len(seq)
 	V := len(order)
-	if !g.forceScalar && laneEligible(p, V, n) {
+	// Lane dispatch is two independent questions: laneEligible is the
+	// int16 range proof (correctness — never overridden), laneMinWork
+	// the measured profitability floor on V*n (policy — forceLanes
+	// short-circuits it so forced paths and the microprobe never
+	// consult the tunable mid-resolution).
+	if !g.forceScalar && laneEligible(p, V, n) &&
+		(g.forceLanes || V*n >= laneMinWork.Get()) {
 		g.addSequenceLanes(seq, p, mode, order)
 		return
 	}

@@ -1,0 +1,81 @@
+// Measured lanes-vs-scalar dispatch for AddSequence.
+//
+// laneEligible (lanes.go) proves the int16 sweep is exact for a
+// window; it says nothing about whether the sweep is FASTER. The lane
+// path pays fixed setup per alignment — CSR snapshot, query packing,
+// four match-mask builds — that the scalar path skips, so tiny
+// windows can lose to scalar even when eligible. Where that
+// break-even sits depends on the host, so it is measured once per
+// process by a microprobe instead of assumed: windows whose DP area
+// V*n falls below laneMinWork take the scalar path.
+//
+// Pin with GBENCH_TUNE_POA_LANE_MIN_WORK, or GBENCH_TUNE=off for the
+// default 0 (lanes whenever eligible — PR5's static policy).
+package poa
+
+import (
+	"repro/internal/genome"
+	"repro/internal/tuning"
+)
+
+// laneMinWorkCap bounds the probe's answer: a measurement can turn
+// lanes off for small windows, not disable them wholesale.
+const laneMinWorkCap = 1 << 14
+
+// Constructed in init: the probe runs full consensus builds, so a
+// plain var initializer would form a static reference cycle with the
+// dispatch site that reads the tunable (the short-circuit hooks break
+// the cycle at runtime, but the compiler can't see that).
+var laneMinWork *tuning.Int
+
+func init() {
+	laneMinWork = tuning.NewInt("poa.lane_min_work", 0, 0, laneMinWorkCap, probeLaneMinWork)
+}
+
+// probeLaneMinWork times full consensus builds with the path pinned
+// each way (forceLanes / ConsensusScalarInto — both short-circuit the
+// laneMinWork lookup, which is mid-resolution while the probe runs)
+// at a few window sizes, and returns the smallest probed DP area from
+// which lanes win and keep winning at every larger probed size. The
+// sequences are identical copies, so the graph stays backbone-shaped
+// and the area of every alignment after the first is exactly L*L.
+func probeLaneMinWork() int {
+	sizes := [...]int{8, 16, 32, 64}
+	p := DefaultParams()
+	mkWindow := func(l int) *Window {
+		seq := make(genome.Seq, l)
+		for i := range seq {
+			seq[i] = genome.Base(i & 3)
+		}
+		w := &Window{}
+		for k := 0; k < 3; k++ {
+			w.Sequences = append(w.Sequences, seq)
+		}
+		return w
+	}
+
+	const reps, iters = 3, 20
+	laneNs := make([]float64, len(sizes))
+	scalarNs := make([]float64, len(sizes))
+	gl, gs := New(), New()
+	gl.forceLanes = true
+	for si, l := range sizes {
+		w := mkWindow(l)
+		laneNs[si] = tuning.BestNs(reps, iters, func() { ConsensusInto(w, p, gl) })
+		scalarNs[si] = tuning.BestNs(reps, iters, func() { ConsensusScalarInto(w, p, gs) })
+	}
+
+	threshold := laneMinWorkCap
+	for si := len(sizes) - 1; si >= 0; si-- {
+		if laneNs[si] > scalarNs[si] {
+			break
+		}
+		threshold = sizes[si] * sizes[si]
+	}
+	if threshold == sizes[0]*sizes[0] {
+		// Lanes won at every probed size, including the smallest: no
+		// evidence of a scalar regime at all.
+		return 0
+	}
+	return threshold
+}
