@@ -115,10 +115,14 @@ func main() {
 	report.Note = *note
 	report.Time = time.Now().UTC().Format(time.RFC3339)
 	report.Host = currentHost()
-	for _, spec := range allPairs(*threads) {
-		if len(want) > 0 && !want[spec.kernel] {
+	for _, def := range allPairDefs(*threads) {
+		if len(want) > 0 && !want[def.kernel] {
 			continue
 		}
+		// Inputs build lazily, after the kernel filter: a -kernels smoke
+		// run must not pay for the big excluded workloads (the fmindex
+		// smem pair builds a 32 Mbp index).
+		spec := def.build()
 		fmt.Fprintf(os.Stderr, "bench %s/%s\n", spec.kernel, spec.pair)
 		base := bestOf(*reps, spec.baseline)
 		opt := bestOf(*reps, spec.optimized)
@@ -262,17 +266,40 @@ func metricsOf(name string, r testing.BenchmarkResult) benchjson.Metrics {
 	}
 }
 
-// allPairs builds every kernel's before/after pair. Workloads mirror
+// pairDef names a pair's kernel without building its inputs; the
+// build hook constructs the workload (deterministic seeds) only when
+// the kernel passes the -kernels filter.
+type pairDef struct {
+	kernel string
+	build  func() pairSpec
+}
+
+// allPairDefs lists every kernel's before/after pair. Workloads mirror
 // the BenchmarkXxx pairs in each kernel's opt_test.go: realistic sizes,
 // deterministic seeds. threads sets the parallel side of the
 // */threads scaling pairs.
-func allPairs(threads int) []pairSpec {
-	pairs := []pairSpec{
-		bswPair(), phmmPair(), phmmLanesPair(), kmercntPair(),
-		fmindexPair(), poaPair(), poaLanesPair(), abeaPair(),
-		abeaLanesPair(), dbgPair(), pileupPair(), grmPair(),
+func allPairDefs(threads int) []pairDef {
+	return []pairDef{
+		{"bsw", bswPair},
+		{"phmm", phmmPair},
+		{"phmm", phmmLanesPair},
+		{"kmercnt", kmercntPair},
+		{"kmercnt", kmercntBatchedPair},
+		{"fmindex", fmindexPair},
+		{"fmindex", fmindexSmemPair},
+		{"poa", poaPair},
+		{"poa", poaLanesPair},
+		{"abea", abeaPair},
+		{"abea", abeaLanesPair},
+		{"dbg", dbgPair},
+		{"pileup", pileupPair},
+		{"grm", grmPair},
+		{"chain", func() pairSpec { return chainThreadsPair(threads) }},
+		{"grm", func() pairSpec { return grmThreadsPair(threads) }},
+		{"pileup", func() pairSpec { return pileupThreadsPair(threads) }},
+		{"fmindex", func() pairSpec { return fmindexThreadsPair(threads) }},
+		{"kmercnt", func() pairSpec { return kmercntThreadsPair(threads) }},
 	}
-	return append(pairs, threadsPairs(threads)...)
 }
 
 // pileupPair measures the packed match-run counting path against the
@@ -327,17 +354,24 @@ func grmPair() pairSpec {
 	}
 }
 
-// threadsPairs is the -threads axis: the same kernel execution at one
-// thread and at the flag's thread count, for the inter-task-parallel
-// kernels whose pairs above are single-threaded micro pairs. The pair
-// speedup is the parallel scaling factor.
-func threadsPairs(threads int) []pairSpec {
-	if threads < 1 {
-		threads = 1
-	}
-	tName := fmt.Sprintf("t%d", threads)
+// The */threads axis: the same kernel execution at one thread and at
+// the -threads flag's count, for the inter-task-parallel kernels whose
+// pairs above are single-threaded micro pairs. The pair speedup is the
+// parallel scaling factor.
 
-	// chain: one task per read pair, anchors from real minimizer hits.
+func clampThreads(threads int) int {
+	if threads < 1 {
+		return 1
+	}
+	return threads
+}
+
+func tName(threads int) string { return fmt.Sprintf("t%d", threads) }
+
+// chainThreadsPair: one task per read pair, anchors from real
+// minimizer hits.
+func chainThreadsPair(threads int) pairSpec {
+	threads = clampThreads(threads)
 	rng := rand.New(rand.NewSource(81))
 	tasks := make([]chain.Task, 48)
 	for i := range tasks {
@@ -349,61 +383,119 @@ func threadsPairs(threads int) []pairSpec {
 		tasks[i] = chain.Task{Anchors: chain.SharedAnchors(base, other, 15, 10, 64)}
 	}
 	chainCfg := chain.DefaultConfig()
+	return pairSpec{
+		kernel: "chain", pair: "threads", threads: threads,
+		baselineName: "chain/threads/t1", optimizedName: "chain/threads/" + tName(threads),
+		baseline: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				chain.RunKernel(tasks, chainCfg, 1)
+			}
+		},
+		optimized: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				chain.RunKernel(tasks, chainCfg, threads)
+			}
+		},
+	}
+}
 
-	// grm: tile tasks over a larger population than the micro pair.
+// grmThreadsPair: tile tasks over a larger population than the micro
+// pair.
+func grmThreadsPair(threads int) pairSpec {
+	threads = clampThreads(threads)
 	grng := rand.New(rand.NewSource(82))
 	gts := grm.Simulate(grng, 256, 1_024, 0.1)
+	return pairSpec{
+		kernel: "grm", pair: "threads", threads: threads,
+		baselineName: "grm/threads/t1", optimizedName: "grm/threads/" + tName(threads),
+		baseline: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				grm.Compute(gts, 64, 1)
+			}
+		},
+		optimized: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				grm.Compute(gts, 64, threads)
+			}
+		},
+	}
+}
 
-	// pileup: region tasks over simulated alignments.
+// pileupThreadsPair: region tasks over simulated alignments.
+func pileupThreadsPair(threads int) pairSpec {
+	threads = clampThreads(threads)
 	prng := rand.New(rand.NewSource(83))
 	ref := genome.Random(prng, 50_000)
 	alnCfg := simio.DefaultAlignSim()
 	alnCfg.MeanReadLen = 800
 	alns := simio.SimulateAlignments(prng, ref, 1_000, alnCfg)
 	regions := pileup.SplitRegions(len(ref), alns, 5_000)
+	return pairSpec{
+		kernel: "pileup", pair: "threads", threads: threads,
+		baselineName: "pileup/threads/t1", optimizedName: "pileup/threads/" + tName(threads),
+		baseline: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pileup.RunKernel(regions, 1)
+			}
+		},
+		optimized: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pileup.RunKernel(regions, threads)
+			}
+		},
+	}
+}
 
-	return []pairSpec{
-		{
-			kernel: "chain", pair: "threads", threads: threads,
-			baselineName: "chain/threads/t1", optimizedName: "chain/threads/" + tName,
-			baseline: func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					chain.RunKernel(tasks, chainCfg, 1)
-				}
-			},
-			optimized: func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					chain.RunKernel(tasks, chainCfg, threads)
-				}
-			},
+// fmindexThreadsPair: the fmi kernel (per-worker batch engines) at one
+// thread and at -threads.
+func fmindexThreadsPair(threads int) pairSpec {
+	threads = clampThreads(threads)
+	rng := rand.New(rand.NewSource(84))
+	g := genome.Random(rng, 1<<20)
+	x := fmindex.Build(g)
+	reads := sampledReads(rng, g, 192, 100, 2)
+	cfg := fmindex.DefaultKernelConfig()
+	return pairSpec{
+		kernel: "fmindex", pair: "threads", threads: threads,
+		baselineName: "fmindex/threads/t1", optimizedName: "fmindex/threads/" + tName(threads),
+		baseline: func(b *testing.B) {
+			c := cfg
+			c.Threads = 1
+			for i := 0; i < b.N; i++ {
+				fmindex.RunKernel(x, reads, c)
+			}
 		},
-		{
-			kernel: "grm", pair: "threads", threads: threads,
-			baselineName: "grm/threads/t1", optimizedName: "grm/threads/" + tName,
-			baseline: func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					grm.Compute(gts, 64, 1)
-				}
-			},
-			optimized: func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					grm.Compute(gts, 64, threads)
-				}
-			},
+		optimized: func(b *testing.B) {
+			c := cfg
+			c.Threads = threads
+			for i := 0; i < b.N; i++ {
+				fmindex.RunKernel(x, reads, c)
+			}
 		},
-		{
-			kernel: "pileup", pair: "threads", threads: threads,
-			baselineName: "pileup/threads/t1", optimizedName: "pileup/threads/" + tName,
-			baseline: func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					pileup.RunKernel(regions, 1)
-				}
-			},
-			optimized: func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					pileup.RunKernel(regions, threads)
-				}
-			},
+	}
+}
+
+// kmercntThreadsPair: the kmer-cnt kernel (private tables, wave-batched
+// inserts) at one thread and at -threads.
+func kmercntThreadsPair(threads int) pairSpec {
+	threads = clampThreads(threads)
+	rng := rand.New(rand.NewSource(85))
+	reads := make([]genome.Seq, 96)
+	for i := range reads {
+		reads[i] = genome.Random(rng, 1_500)
+	}
+	return pairSpec{
+		kernel: "kmercnt", pair: "threads", threads: threads,
+		baselineName: "kmercnt/threads/t1", optimizedName: "kmercnt/threads/" + tName(threads),
+		baseline: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kmercnt.RunKernel(reads, 17, 1, kmercnt.Linear)
+			}
+		},
+		optimized: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kmercnt.RunKernel(reads, 17, threads, kmercnt.Linear)
+			}
 		},
 	}
 }
@@ -560,6 +652,110 @@ func kmercntPair() pairSpec {
 				p := seq2.PackInto(buf, reads[i%len(reads)])
 				buf = p.WordsSlice()
 				kmercnt.CountSeqPacked(tb, p, k)
+			}
+		},
+	}
+}
+
+// sampledReads draws reads of length l from g with a few point
+// mutations each — genome-derived reads walk long SMEM chains, the
+// workload the fmi kernel exists to measure.
+func sampledReads(rng *rand.Rand, g genome.Seq, n, l, muts int) []genome.Seq {
+	reads := make([]genome.Seq, n)
+	for i := range reads {
+		start := rng.Intn(len(g) - l)
+		r := g[start : start+l].Clone()
+		for m := 0; m < muts; m++ {
+			r[rng.Intn(l)] = genome.Base(rng.Intn(4))
+		}
+		reads[i] = r
+	}
+	return reads
+}
+
+// fmindexSmemPair measures the lock-step batched SMEM engine against
+// the serial per-read walk. The 32 Mbp index's Occ checkpoints plus
+// packed BWT (~64 MB) bury the L2 and the DTLB reach, so the serial
+// side pays exposed miss latency on every dependent extension; the
+// batched side overlaps W of those misses via software prefetch (and
+// allocates nothing per anchor). One op = one sweep over the read set,
+// identical work on both sides — SMEMs and lookup counts are bit-equal
+// (batch_test.go). The index build takes tens of seconds; smoke runs
+// exclude this pair via -kernels and never pay for it (lazy pairDefs).
+func fmindexSmemPair() pairSpec {
+	rng := rand.New(rand.NewSource(36))
+	g := genome.Random(rng, 1<<25)
+	x := fmindex.Build(g)
+	reads := sampledReads(rng, g, 128, 250, 3)
+	return pairSpec{
+		kernel: "fmindex", pair: "smem",
+		baselineName: "fmindex/smem/serial", optimizedName: "fmindex/smem/batched",
+		baseline: func(b *testing.B) {
+			b.ReportAllocs()
+			var lk uint64
+			var smems int
+			for i := 0; i < b.N; i++ {
+				for _, r := range reads {
+					smems += len(x.FindSMEMs(r, 19, 1, &lk))
+				}
+			}
+			_ = smems
+		},
+		optimized: func(b *testing.B) {
+			b.ReportAllocs()
+			e := fmindex.NewBatchEngine(x, 0, nil)
+			var lk uint64
+			var smems int
+			emit := func(_ int, s []fmindex.SMEM, l uint64) {
+				smems += len(s)
+				lk += l
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.Run(reads, 19, 1, nil, emit); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = smems
+		},
+	}
+}
+
+// kmercntBatchedPair measures wave-batched hash inserts against the
+// plain packed counter on a table whose slot arrays (~96 MB keys +
+// counts) dwarf the L2 and thrash the DTLB: every insert's primary
+// probe is a random line on a random page, serial misses on the plain
+// side, overlapped prefetched ones on the batched side. At L2-resident
+// table sizes the pair reads ~1x — the OOO window already overlaps the
+// independent insert chains — so the size is the point, mirroring the
+// paper's 8 GB k-mer table regime. Tables are bit-identical
+// (batched_test.go).
+func kmercntBatchedPair() pairSpec {
+	rng := rand.New(rand.NewSource(23))
+	const k = 17
+	reads := make([]genome.Seq, 512)
+	packed := make([]seq2.Packed, len(reads))
+	for i := range reads {
+		reads[i] = genome.Random(rng, 2_000)
+		packed[i] = seq2.Pack(reads[i])
+	}
+	return pairSpec{
+		kernel: "kmercnt", pair: "batched",
+		baselineName: "kmercnt/batched/plain", optimizedName: "kmercnt/batched/wave",
+		baseline: func(b *testing.B) {
+			b.ReportAllocs()
+			tb := kmercnt.NewTable(1<<23, kmercnt.Linear)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kmercnt.CountSeqPacked(tb, packed[i%len(packed)], k)
+			}
+		},
+		optimized: func(b *testing.B) {
+			b.ReportAllocs()
+			tb := kmercnt.NewTable(1<<23, kmercnt.Linear)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kmercnt.CountSeqPackedBatched(tb, packed[i%len(packed)], k)
 			}
 		},
 	}

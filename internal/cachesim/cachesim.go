@@ -142,7 +142,20 @@ type Config struct {
 
 	// BaseCPI is the no-stall cycles-per-instruction of the core.
 	BaseCPI float64
+
+	// PrefetchDiscount scales the stall penalty charged to software
+	// prefetches (Hierarchy.Prefetch). A prefetch issued a batch
+	// rotation ahead of use overlaps its miss with other lanes'
+	// compute and with sibling prefetches, so only a fraction of the
+	// raw latency surfaces as stall; 0 means DefaultPrefetchDiscount.
+	PrefetchDiscount float64
 }
+
+// DefaultPrefetchDiscount is the stall fraction charged to a software
+// prefetch when Config.PrefetchDiscount is unset: one quarter of the
+// demand-miss penalty, i.e. a batch window deep enough to overlap four
+// misses — the conservative end of what lock-step batching achieves.
+const DefaultPrefetchDiscount = 0.25
 
 // XeonE31240v5 mirrors the paper's Table I machine: 32 KB 8-way L1D,
 // 256 KB 8-way L2, 8 MB 16-way LLC, 64 B lines.
@@ -169,6 +182,7 @@ type Hierarchy struct {
 	LLC *Cache
 
 	Reads, Writes  uint64
+	Prefetches     uint64 // software prefetches (Prefetch calls)
 	DRAMBytes      uint64 // line fills + writebacks reaching DRAM
 	penaltyCyclesX float64
 	lastMissLine   uint64
@@ -194,7 +208,7 @@ func (h *Hierarchy) ResetStats() {
 	for _, c := range []*Cache{h.L1, h.L2, h.LLC} {
 		c.Accesses, c.Misses, c.Writebacks = 0, 0, 0
 	}
-	h.Reads, h.Writes, h.DRAMBytes = 0, 0, 0
+	h.Reads, h.Writes, h.Prefetches, h.DRAMBytes = 0, 0, 0, 0
 	h.penaltyCyclesX = 0
 }
 
@@ -208,7 +222,7 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool) {
 	first := addr / line
 	last := (addr + uint64(size) - 1) / line
 	for la := first; la <= last; la++ {
-		h.accessOneLine(la, write)
+		h.accessOneLine(la, write, 1)
 	}
 	if write {
 		h.Writes++
@@ -217,7 +231,31 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool) {
 	}
 }
 
-func (h *Hierarchy) accessOneLine(lineAddr uint64, write bool) {
+// Prefetch simulates a software prefetch of size bytes at addr: the
+// touched lines are installed through the full hierarchy exactly like
+// a read (so a later demand access hits), but any miss latency is
+// charged at the PrefetchDiscount — the model of a prefetch issued
+// early enough that most of its miss overlaps useful work. This is how
+// the batched SMEM/kmer engines prove their reordered streams stall
+// less: same demand addresses, misses moved onto discounted prefetches.
+func (h *Hierarchy) Prefetch(addr uint64, size int) {
+	if size <= 0 {
+		size = 1
+	}
+	scale := h.cfg.PrefetchDiscount
+	if scale <= 0 {
+		scale = DefaultPrefetchDiscount
+	}
+	line := uint64(h.cfg.LineSize)
+	first := addr / line
+	last := (addr + uint64(size) - 1) / line
+	for la := first; la <= last; la++ {
+		h.accessOneLine(la, false, scale)
+	}
+	h.Prefetches++
+}
+
+func (h *Hierarchy) accessOneLine(lineAddr uint64, write bool, penaltyScale float64) {
 	miss1, wb1 := h.L1.accessLine(lineAddr, write)
 	if wb1 {
 		// Dirty L1 victim is absorbed by L2 (write-back path); modelled
@@ -229,10 +267,11 @@ func (h *Hierarchy) accessOneLine(lineAddr uint64, write bool) {
 	}
 	// A hardware stream prefetcher hides most of the latency of
 	// next-line misses; sequential streams still move DRAM bytes but
-	// stall far less than random misses.
-	penalty := 1.0
+	// stall far less than random misses. penaltyScale layers the
+	// software-prefetch discount on top (1 for demand accesses).
+	penalty := penaltyScale
 	if lineAddr == h.lastMissLine+1 {
-		penalty = 0.15
+		penalty *= 0.15
 	}
 	h.lastMissLine = lineAddr
 	h.penaltyCyclesX += penalty * h.cfg.L2Latency

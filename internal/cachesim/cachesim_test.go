@@ -156,3 +156,68 @@ func TestMissesNeverExceedAccesses(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A software prefetch must install the line (the following demand
+// access hits) while charging only the discounted stall penalty.
+func TestPrefetchInstallsLineAtDiscount(t *testing.T) {
+	demand := NewHierarchy(XeonE31240v5())
+	prefetched := NewHierarchy(XeonE31240v5())
+	rng := rand.New(rand.NewSource(99))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = (rng.Uint64() % (1 << 27)) &^ 63 // distinct-ish random lines
+	}
+	for _, a := range addrs {
+		demand.Access(a, 8, false)
+	}
+	for _, a := range addrs {
+		prefetched.Prefetch(a, 8)
+		prefetched.Access(a, 8, false)
+	}
+	if prefetched.Prefetches != uint64(len(addrs)) {
+		t.Fatalf("Prefetches = %d, want %d", prefetched.Prefetches, len(addrs))
+	}
+	sd := demand.Report(1_000_000)
+	sp := prefetched.Report(1_000_000)
+	if sp.CyclesEstimate >= sd.CyclesEstimate {
+		t.Fatalf("prefetched run should stall less: %f vs %f cycles",
+			sp.CyclesEstimate, sd.CyclesEstimate)
+	}
+	// The discount is 0.25 by default, so the prefetched stall should be
+	// roughly a quarter of the demand stall (same miss set).
+	stallD := sd.CyclesEstimate * sd.StallFraction
+	stallP := sp.CyclesEstimate * sp.StallFraction
+	if stallP > 0.5*stallD {
+		t.Fatalf("prefetched stall %f not below half of demand stall %f", stallP, stallD)
+	}
+}
+
+// An explicit PrefetchDiscount must scale the charged penalty.
+func TestPrefetchDiscountConfigurable(t *testing.T) {
+	cheap := XeonE31240v5()
+	cheap.PrefetchDiscount = 0.05
+	dear := XeonE31240v5()
+	dear.PrefetchDiscount = 0.95
+	hc, hd := NewHierarchy(cheap), NewHierarchy(dear)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2048; i++ {
+		a := (rng.Uint64() % (1 << 27)) &^ 63
+		hc.Prefetch(a, 8)
+		hd.Prefetch(a, 8)
+	}
+	rc, rd := hc.Report(100_000), hd.Report(100_000)
+	if rc.CyclesEstimate >= rd.CyclesEstimate {
+		t.Fatalf("discount 0.05 should stall less than 0.95: %f vs %f",
+			rc.CyclesEstimate, rd.CyclesEstimate)
+	}
+}
+
+// ResetStats must zero the prefetch counter with the rest.
+func TestResetStatsClearsPrefetches(t *testing.T) {
+	h := NewHierarchy(XeonE31240v5())
+	h.Prefetch(0, 8)
+	h.ResetStats()
+	if h.Prefetches != 0 {
+		t.Fatalf("Prefetches = %d after ResetStats", h.Prefetches)
+	}
+}

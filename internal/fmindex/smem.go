@@ -23,6 +23,15 @@ func (m SMEM) Len() int { return m.QEnd - m.QBeg }
 // Hits returns the occurrence count of the match.
 func (m SMEM) Hits() int { return m.Interval.S }
 
+// smemEntry is one right-maximal candidate during SMEM enumeration:
+// the interval of a match ending at qend. Shared by the serial sweep
+// (smem1) and the lock-step batch engine (batch.go), whose per-lane
+// candidate lists must evolve exactly like smem1's.
+type smemEntry struct {
+	iv   BiInterval
+	qend int
+}
+
 // smem1 enumerates all SMEMs passing through read position x,
 // appending them to out and returning the position where the next
 // search should start (the end of the longest SMEM found, or x+1).
@@ -31,10 +40,7 @@ func (m SMEM) Hits() int { return m.Interval.S }
 // matches the moment they stop being extendable. lookups counts Occ
 // lookups performed (2 per bidirectional extension).
 func (x *Index) smem1(read genome.Seq, pos, minLen, minHits int, out []SMEM, lookups *uint64, tr MemTracer) ([]SMEM, int) {
-	type entry struct {
-		iv   BiInterval
-		qend int
-	}
+	type entry = smemEntry
 	iv := x.extendBackwardT(x.Root(), tr)[read[pos]&3]
 	*lookups += 2
 	if iv.S == 0 {
@@ -142,6 +148,13 @@ type KernelConfig struct {
 	MinHits    int // minimum occurrence count
 	Threads    int
 
+	// BatchWidth forces the lock-step batch engine's lane count; 0
+	// resolves the fmindex.batch_width tunable (microprobed per host,
+	// cached on disk). Width is pure dispatch policy: any value
+	// produces bit-identical results (batch_test.go pins this), it
+	// only moves the prefetch distance.
+	BatchWidth int
+
 	// NewWorkerTracer, when non-nil, is called once per worker to make
 	// that worker's private MemTracer; the kernel never shares one
 	// tracer between workers (sharing x.Tracer across threads is a data
@@ -166,6 +179,9 @@ type KernelResult struct {
 
 // RunKernel executes the fmi benchmark: SMEM search for every read,
 // dynamically scheduled across threads, with per-read work statistics.
+// Reads route through per-worker lock-step BatchEngines (see batch.go)
+// so Occ-lookup misses overlap across in-flight reads; results are
+// bit-identical to serial FindSMEMs per read.
 // It panics on failure; cancellable callers use RunKernelCtx.
 func RunKernel(x *Index, reads []genome.Seq, cfg KernelConfig) KernelResult {
 	res, err := RunKernelCtx(context.Background(), x, reads, cfg)
@@ -187,6 +203,7 @@ func RunKernelCtx(ctx context.Context, x *Index, reads []genome.Seq, cfg KernelC
 		lookups uint64
 		stats   *perf.TaskStats
 		tracer  MemTracer
+		engine  *BatchEngine
 		_       perf.CacheLinePad // workers update these per task; keep shards on private cache lines
 	}
 	workers := make([]workerState, cfg.Threads)
@@ -195,21 +212,39 @@ func RunKernelCtx(ctx context.Context, x *Index, reads []genome.Seq, cfg KernelC
 		if cfg.NewWorkerTracer != nil {
 			workers[i].tracer = cfg.NewWorkerTracer(i)
 		}
+		workers[i].engine = NewBatchEngine(x, cfg.BatchWidth, workers[i].tracer)
 	}
 	// Note: x.Tracer is deliberately NOT consulted here — a tracer
 	// shared by concurrent workers is a data race. Tracing kernel runs
 	// goes through cfg.NewWorkerTracer's per-worker sinks.
-	err := parallel.ForEachCtxErr(ctx, len(reads), cfg.Threads, func(tctx context.Context, w, i int) error {
-		if err := faultinject.Point(tctx); err != nil {
-			return err
-		}
+	//
+	// Reads dispatch in chunks a few batch windows deep: each chunk
+	// runs through the claiming worker's engine with its lanes full,
+	// while chunk-level claiming keeps dynamic load balance across
+	// threads. Per-read fault/cancel points thread through admit.
+	width := workers[0].engine.Width()
+	chunk := 4 * width
+	if per := (len(reads) + cfg.Threads - 1) / cfg.Threads; chunk > per {
+		chunk = per
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	nChunks := (len(reads) + chunk - 1) / chunk
+	err := parallel.ForEachCtxErr(ctx, nChunks, cfg.Threads, func(tctx context.Context, w, c int) error {
 		ws := &workers[w]
-		var lookups uint64
-		smems := x.FindSMEMsTraced(reads[i], cfg.MinSeedLen, cfg.MinHits, &lookups, ws.tracer)
-		ws.smems += len(smems)
-		ws.lookups += lookups
-		ws.stats.Observe(float64(lookups))
-		return nil
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > len(reads) {
+			hi = len(reads)
+		}
+		return ws.engine.Run(reads[lo:hi], cfg.MinSeedLen, cfg.MinHits,
+			func(int) error { return faultinject.Point(tctx) },
+			func(_ int, smems []SMEM, lookups uint64) {
+				ws.smems += len(smems)
+				ws.lookups += lookups
+				ws.stats.Observe(float64(lookups))
+			})
 	})
 	if err != nil {
 		return KernelResult{}, err

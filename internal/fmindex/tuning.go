@@ -1,0 +1,21 @@
+package fmindex
+
+import (
+	"repro/internal/prefetch"
+	"repro/internal/tuning"
+)
+
+// BatchWidth is the number of in-flight SMEM query states the batch
+// engine rotates through (the W of the lock-step schedule). Deeper
+// windows give each lane's prefetches more sibling compute to hide
+// behind but grow the live state the rotation itself must keep warm;
+// the sweet spot is the host's memory-level-parallelism capacity, so
+// the probe asks internal/prefetch's interleaved pointer-chase rather
+// than timing SMEM search itself (a probe-sized index would be
+// cache-resident and would measure only dispatch overhead). Width is
+// pure dispatch policy — any value yields bit-identical SMEMs (see
+// TestSmemBatchForcedWidths) — so a mistuned cache entry can cost
+// speed, never correctness.
+var BatchWidth = tuning.NewInt("fmindex.batch_width", 8, 1, 64, func() int {
+	return prefetch.BestWidth([]int{4, 8, 16, 32})
+})

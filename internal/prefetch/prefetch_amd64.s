@@ -1,0 +1,10 @@
+// PREFETCHT0 stub: hint the line containing addr into all cache
+// levels. See asm.go for the contract — a pure hint, no architectural
+// effect, never faults (the instruction squashes translation faults).
+
+#include "textflag.h"
+
+TEXT ·prefetchT0(SB), NOSPLIT, $0-8
+	MOVQ addr+0(FP), AX
+	PREFETCHT0 (AX)
+	RET

@@ -1,0 +1,10 @@
+// PRFM PLDL1KEEP stub: hint the line containing addr into L1 with
+// normal (keep) replacement. See asm.go for the contract — a pure
+// hint, no architectural effect, never faults.
+
+#include "textflag.h"
+
+TEXT ·prefetchT0(SB), NOSPLIT, $0-8
+	MOVD addr+0(FP), R0
+	PRFM (R0), PLDL1KEEP
+	RET

@@ -1,0 +1,130 @@
+package tuning
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Probe persistence: microprobe results are stable for a given host
+// class, so re-running them every process start (several ms per probe,
+// worse under contention) buys nothing. Resolved probe values are
+// written to a small JSON cache keyed by the host profile
+// (os/arch/numcpu); later processes on the same host class read the
+// cached value instead of probing. Only PROBE results persist —
+// explicit Sets, env overrides, and GBENCH_TUNE=off never touch the
+// cache, so pinned test runs stay hermetic and cannot poison it.
+//
+// Controls:
+//
+//   - GBENCH_TUNE_NOCACHE=1   skip the cache entirely (probe every start)
+//   - GBENCH_TUNE_CACHE_DIR   override the cache directory (tests use
+//     this; default os.UserCacheDir()/gbench)
+//
+// A corrupted or unreadable cache file is treated as absent and
+// overwritten wholesale on the next store, so damage self-heals.
+// All cache I/O is best-effort: failures fall back to probing.
+
+// cacheSchema versions the on-disk format; bump to invalidate.
+const cacheSchema = 1
+
+// cacheFile is the on-disk format: one file per host class.
+type cacheFile struct {
+	Schema int            `json:"schema"`
+	Host   string         `json:"host"`
+	Values map[string]int `json:"values"`
+}
+
+var cacheMu sync.Mutex
+
+// cachePath returns the cache file path for this host class, or ""
+// when caching is unavailable/disabled. Test binaries never touch the
+// user's real cache (probe-once assertions would see stale hits across
+// runs); they opt in by setting GBENCH_TUNE_CACHE_DIR to a temp dir.
+func cachePath() string {
+	if os.Getenv("GBENCH_TUNE_NOCACHE") != "" {
+		return ""
+	}
+	dir := os.Getenv("GBENCH_TUNE_CACHE_DIR")
+	if dir == "" {
+		if testing.Testing() {
+			return ""
+		}
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return ""
+		}
+		dir = filepath.Join(base, "gbench")
+	}
+	host := strings.ReplaceAll(Host().Key(), "/", "_")
+	return filepath.Join(dir, "tune-"+host+".json")
+}
+
+// loadCache reads the host-class cache, returning an empty (never nil
+// on the Values map) cacheFile when missing, corrupted, or mismatched.
+func loadCache(path string) cacheFile {
+	empty := cacheFile{Schema: cacheSchema, Host: Host().Key(), Values: map[string]int{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return empty
+	}
+	var cf cacheFile
+	if json.Unmarshal(data, &cf) != nil || cf.Schema != cacheSchema ||
+		cf.Host != Host().Key() || cf.Values == nil {
+		return empty
+	}
+	return cf
+}
+
+// cacheLookup returns the persisted probe value for name, if present.
+func cacheLookup(name string) (int, bool) {
+	path := cachePath()
+	if path == "" {
+		return 0, false
+	}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	v, ok := loadCache(path).Values[name]
+	return v, ok
+}
+
+// cacheStore persists a freshly probed value, read-modify-writing the
+// host-class file atomically (temp file + rename) so concurrent
+// processes never observe a torn file. Best-effort: any failure leaves
+// the cache as it was.
+func cacheStore(name string, v int) {
+	path := cachePath()
+	if path == "" {
+		return
+	}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	cf := loadCache(path)
+	cf.Values[name] = v
+	data, err := json.MarshalIndent(cf, "", "  ")
+	if err != nil {
+		return
+	}
+	if os.MkdirAll(filepath.Dir(path), 0o755) != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tune-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if tmp.Close() != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if os.Rename(tmp.Name(), path) != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,162 @@
+package tuning
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// newCachedInt builds an unregistered tunable whose probe counts its
+// invocations. It bypasses NewInt so tests don't pollute the registry.
+func newCachedInt(name string, probeCalls *int, result int) *Int {
+	return &Int{name: name, def: 1, min: 1, max: 1 << 20, probe: func() int {
+		*probeCalls++
+		return result
+	}}
+}
+
+func TestProbeCacheRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("GBENCH_TUNE_CACHE_DIR", dir)
+	t.Setenv("GBENCH_TUNE_NOCACHE", "")
+	t.Setenv("GBENCH_TUNE", "")
+
+	calls := 0
+	a := newCachedInt("test.roundtrip", &calls, 42)
+	if v := a.Get(); v != 42 {
+		t.Fatalf("first Get = %d, want probed 42", v)
+	}
+	if calls != 1 {
+		t.Fatalf("probe ran %d times, want 1", calls)
+	}
+
+	// A second tunable with the same name (a fresh process, in effect)
+	// must read the cache instead of probing.
+	b := newCachedInt("test.roundtrip", &calls, 99)
+	if v := b.Get(); v != 42 {
+		t.Fatalf("cached Get = %d, want persisted 42", v)
+	}
+	if calls != 1 {
+		t.Fatalf("probe ran %d times after cached Get, want 1", calls)
+	}
+
+	// The file itself must be the documented schema, keyed by host.
+	path := cachePath()
+	if !strings.HasPrefix(filepath.Base(path), "tune-") {
+		t.Fatalf("unexpected cache filename %q", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf cacheFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		t.Fatal(err)
+	}
+	if cf.Schema != cacheSchema || cf.Host != Host().Key() || cf.Values["test.roundtrip"] != 42 {
+		t.Fatalf("cache file contents: %+v", cf)
+	}
+}
+
+func TestProbeCacheCorruptedFileRecovers(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("GBENCH_TUNE_CACHE_DIR", dir)
+	t.Setenv("GBENCH_TUNE_NOCACHE", "")
+	t.Setenv("GBENCH_TUNE", "")
+
+	path := cachePath()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	calls := 0
+	a := newCachedInt("test.corrupt", &calls, 7)
+	if v := a.Get(); v != 7 {
+		t.Fatalf("Get with corrupted cache = %d, want probed 7", v)
+	}
+	if calls != 1 {
+		t.Fatalf("probe ran %d times, want 1", calls)
+	}
+
+	// The store must have repaired the file: a re-read finds the value.
+	b := newCachedInt("test.corrupt", &calls, 8)
+	if v := b.Get(); v != 7 {
+		t.Fatalf("Get after repair = %d, want 7", v)
+	}
+	if calls != 1 {
+		t.Fatalf("probe ran %d times after repair, want 1", calls)
+	}
+}
+
+func TestProbeCacheNocacheOptOut(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("GBENCH_TUNE_CACHE_DIR", dir)
+	t.Setenv("GBENCH_TUNE_NOCACHE", "1")
+	t.Setenv("GBENCH_TUNE", "")
+
+	calls := 0
+	a := newCachedInt("test.nocache", &calls, 5)
+	a.Get()
+	b := newCachedInt("test.nocache", &calls, 5)
+	b.Get()
+	if calls != 2 {
+		t.Fatalf("probe ran %d times under NOCACHE, want 2", calls)
+	}
+	if entries, err := os.ReadDir(dir); err != nil || len(entries) != 0 {
+		t.Fatalf("NOCACHE wrote cache files: %v (err %v)", entries, err)
+	}
+}
+
+func TestProbeCacheHostMismatchIgnored(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("GBENCH_TUNE_CACHE_DIR", dir)
+	t.Setenv("GBENCH_TUNE_NOCACHE", "")
+	t.Setenv("GBENCH_TUNE", "")
+
+	// A cache written by a different host class must be ignored (and
+	// rewritten for this host).
+	path := cachePath()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	wrong := cacheFile{Schema: cacheSchema, Host: "plan9/mips/c512", Values: map[string]int{"test.hostmix": 1000}}
+	data, _ := json.Marshal(wrong)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	calls := 0
+	a := newCachedInt("test.hostmix", &calls, 3)
+	if v := a.Get(); v != 3 {
+		t.Fatalf("Get = %d, want probed 3 (foreign cache must not apply)", v)
+	}
+	if calls != 1 {
+		t.Fatalf("probe ran %d times, want 1", calls)
+	}
+}
+
+func TestEnvOverrideSkipsCache(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("GBENCH_TUNE_CACHE_DIR", dir)
+	t.Setenv("GBENCH_TUNE_NOCACHE", "")
+	t.Setenv("GBENCH_TUNE", "")
+	t.Setenv("GBENCH_TUNE_TEST_ENVPIN", "12")
+
+	calls := 0
+	a := newCachedInt("test.envpin", &calls, 77)
+	if v := a.Get(); v != 12 {
+		t.Fatalf("Get = %d, want env-pinned 12", v)
+	}
+	if calls != 0 {
+		t.Fatal("probe must not run under an env override")
+	}
+	// Env-pinned values must never persist.
+	if entries, err := os.ReadDir(dir); err != nil || len(entries) != 0 {
+		t.Fatalf("env override wrote cache files: %v (err %v)", entries, err)
+	}
+}

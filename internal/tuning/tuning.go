@@ -14,7 +14,9 @@
 //  2. the GBENCH_TUNE_PILEUP_WORD_RUN_MIN environment variable,
 //  3. GBENCH_TUNE=off, which freezes every tunable at its default
 //     (hermetic runs, probe-free CI steps),
-//  4. the probe, run once and clamped to [Min, Max].
+//  4. the on-disk probe cache, keyed by host class (persist.go;
+//     GBENCH_TUNE_NOCACHE=1 skips it),
+//  5. the probe, run once, clamped to [Min, Max], and persisted.
 //
 // Probes must not call their own Get (the sync.Once would deadlock);
 // they time forced code paths directly with BestNs.
@@ -115,7 +117,12 @@ func (t *Int) resolveLocked() int {
 	if strings.EqualFold(os.Getenv("GBENCH_TUNE"), "off") || t.probe == nil {
 		return t.def
 	}
-	return clamp(t.probe(), t.min, t.max)
+	if v, ok := cacheLookup(t.name); ok {
+		return clamp(v, t.min, t.max)
+	}
+	v := clamp(t.probe(), t.min, t.max)
+	cacheStore(t.name, v)
+	return v
 }
 
 // Set pins the value (clamped), overriding any probe result, and
