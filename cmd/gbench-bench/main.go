@@ -44,6 +44,7 @@ import (
 	"repro/internal/benchjson"
 	"repro/internal/bsw"
 	"repro/internal/chain"
+	"repro/internal/cpufeat"
 	"repro/internal/dbg"
 	"repro/internal/fmindex"
 	"repro/internal/genome"
@@ -186,6 +187,7 @@ func currentHost() *benchjson.Host {
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
+		SIMD:       cpufeat.String(),
 	}
 }
 

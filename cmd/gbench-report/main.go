@@ -142,12 +142,24 @@ func renderHistory(path string) error {
 		}
 		byHost[t.HostKey] = append(byHost[t.HostKey], t)
 	}
+	// Latest recorded SIMD stamp per host class: records measured with
+	// the SIMD tier overridden down are not comparable to full-width
+	// ones, so the stamp is surfaced next to each host's table.
+	simdOf := map[string]string{}
+	for _, r := range records {
+		if r.Host != nil && r.Host.SIMD != "" {
+			simdOf[r.Host.Key()] = r.Host.SIMD
+		}
+	}
 	for _, hk := range hosts {
 		name := hk
 		if name == "" {
 			name = "unknown host"
 		}
 		fmt.Printf("## Host %s\n\n", name)
+		if simd := simdOf[hk]; simd != "" {
+			fmt.Printf("SIMD: `%s` (latest record)\n\n", simd)
+		}
 		fmt.Println("| pair | trend | first | best | latest | drift |")
 		fmt.Println("|---|---|---|---|---|---|")
 		for _, t := range byHost[hk] {

@@ -43,12 +43,19 @@ type Host struct {
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	GoVersion  string `json:"go_version,omitempty"`
+	// SIMD is the cpufeat stamp active during measurement (detected
+	// feature set plus any GBENCH_SIMD override), e.g. "sse2+avx2" or
+	// "sse2+avx2 (GBENCH_SIMD=off)". A record measured with the SIMD
+	// tier forced down is not comparable to one at full width, and this
+	// field is how a reader (or a puzzled trend investigation) tells
+	// them apart. Empty on records written before the field existed.
+	SIMD string `json:"simd,omitempty"`
 }
 
 // Key renders the host class as a compact stable string, e.g.
-// "linux/amd64/c1". GOMAXPROCS and the Go version are provenance, not
-// identity: the same box at a different GOMAXPROCS is still the same
-// hardware.
+// "linux/amd64/c1". GOMAXPROCS, the Go version and the SIMD stamp are
+// provenance, not identity: the same box at a different GOMAXPROCS is
+// still the same hardware.
 func (h Host) Key() string {
 	return fmt.Sprintf("%s/%s/c%d", h.OS, h.Arch, h.NumCPU)
 }

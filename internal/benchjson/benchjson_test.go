@@ -41,6 +41,40 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHostSIMDRoundTrips pins the host stamp's SIMD field through
+// Write/Read: a record measured with the SIMD tier overridden must
+// keep saying so, and pre-field reports (no "simd" key) must still
+// parse with the stamp simply empty.
+func TestHostSIMDRoundTrips(t *testing.T) {
+	r := sample()
+	r.Host = &Host{OS: "linux", Arch: "amd64", NumCPU: 4, GOMAXPROCS: 4,
+		SIMD: "sse2+avx2 (GBENCH_SIMD=off)"}
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"simd"`) {
+		t.Fatalf("simd field missing from serialized report:\n%s", buf.String())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host == nil || got.Host.SIMD != r.Host.SIMD {
+		t.Fatalf("SIMD stamp mangled: %+v", got.Host)
+	}
+	pre, err := Read(strings.NewReader(`{"schema":"gbench-bench/v1",` +
+		`"host":{"os":"linux","arch":"amd64","num_cpu":1,"gomaxprocs":1},` +
+		`"entries":[{"kernel":"bsw","pair":"align",` +
+		`"baseline":{"name":"b","ns_per_op":2},"optimized":{"name":"o","ns_per_op":1},"speedup":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Host.SIMD != "" {
+		t.Fatalf("pre-field report grew a SIMD stamp: %q", pre.Host.SIMD)
+	}
+}
+
 func TestReadRejectsWrongSchema(t *testing.T) {
 	if _, err := Read(strings.NewReader(`{"schema":"other/v9","entries":[]}`)); err == nil {
 		t.Fatal("wrong schema accepted")

@@ -11,8 +11,10 @@ package bsw
 import (
 	"context"
 
+	"repro/internal/cpufeat"
 	"repro/internal/faultinject"
 	"repro/internal/genome"
+	"repro/internal/lanes"
 	"repro/internal/parallel"
 	"repro/internal/perf"
 	"repro/internal/scratch"
@@ -202,11 +204,21 @@ const negInf32 = int32(-(1 << 29))
 // one (useful for one-off calls; task loops must pass a per-worker
 // arena to get the zero-allocation path). Results are bit-identical to
 // Align on every input.
+//
+// On hosts with a 16-wide SIMD tier (cpufeat.Wide16), alignments
+// whose scoring passes wideEligible's int16 range proof and whose DP
+// area clears the measured lanes.WideMinWork floor route to
+// alignWide, the 16-cells-per-step assembly band kernel (wide.go);
+// results stay bit-identical either way.
 func AlignInto(q, t genome.Seq, p Params, a *scratch.Arena) Result {
 	m, n := len(q), len(t)
 	res := Result{}
 	if m == 0 || n == 0 {
 		return res
+	}
+	if bswHaveWideAsm && cpufeat.Wide16() && wideEligible(p, m, n) &&
+		wideArea(p, m, n) >= lanes.WideMinWork.Get() {
+		return alignWide(q, t, p, a, true)
 	}
 	if a == nil {
 		a = scratch.New()

@@ -1,0 +1,184 @@
+// NEON 16-wide band-row kernel for banded Smith-Waterman. A
+// q-register pair (lanes 0-7, 8-15) holds one 16-column group of
+// saturating int16 DP cells; see wide.go for the kernel contract and
+// why the log-step prefix-max F scan is bit-identical to the portable
+// serial chain for ge in [0, 4095].
+//
+// The Go arm64 assembler has no mnemonics for the signed saturating /
+// max vector ops this kernel is built from (SQADD, SQSUB, SMAX), so
+// those are emitted as raw instruction words through the macros
+// below. Encodings are the AdvSIMD "three same" class at arrangement
+// .8H (Q=1, size=01): base | Rm<<16 | Rn<<5 | Rd, verified against
+// llvm-mc. Every use carries the decoded form as a comment.
+
+#include "textflag.h"
+
+// SQADDH: sqadd v(d).8h, v(n).8h, v(m).8h
+#define SQADDH(m, n, d) WORD $(0x4E600C00 | ((m)<<16) | ((n)<<5) | (d))
+// SQSUBH: sqsub v(d).8h, v(n).8h, v(m).8h
+#define SQSUBH(m, n, d) WORD $(0x4E602C00 | ((m)<<16) | ((n)<<5) | (d))
+// SMAXH: smax v(d).8h, v(n).8h, v(m).8h
+#define SMAXH(m, n, d) WORD $(0x4E606400 | ((m)<<16) | ((n)<<5) | (d))
+
+// bswBitsTab: words [1, 2, ..., 0x8000]; see row_amd64.s.
+DATA bswBitsTab<>+0x00(SB)/8, $0x0008000400020001
+DATA bswBitsTab<>+0x08(SB)/8, $0x0080004000200010
+DATA bswBitsTab<>+0x10(SB)/8, $0x0800040002000100
+DATA bswBitsTab<>+0x18(SB)/8, $0x8000400020001000
+GLOBL bswBitsTab<>(SB), RODATA|NOPTR, $32
+
+// Register plan:
+//   V0 match   V1 mism     V2 ge       V3 2*ge   V4 4*ge   V5 8*ge
+//   V6 -32768  V7 bits lo  V8 bits hi  V9 oe     V10 clamp
+//   V11/V12 row max lo/hi  V13 F carry (lane 7 live)
+//   V14/V15 s  V16/V17 htmp2/H  V18/V19 c  V20/V21 u/f  V22-V25 temps
+
+// func bswRowAsm(a *bswRowArgs)
+TEXT ·bswRowAsm(SB), NOSPLIT, $0-8
+	MOVD a+0(FP), R0
+	MOVD 0(R0), R1              // prevH base
+	MOVD 8(R0), R2              // curH base
+	MOVD 16(R0), R3             // E base
+	MOVD 24(R0), R4             // gmask
+	MOVD 40(R0), R5             // ngroups
+	MOVD 32(R0), R6
+	LSL  $1, R6                 // byte offset of column lo
+	MOVH 56(R0), R9
+	VDUP R9, V0.H8              // match
+	MOVH 58(R0), R9
+	VDUP R9, V1.H8              // mism
+	MOVH 62(R0), R9
+	VDUP R9, V2.H8              // ge
+	SQADDH(2, 2, 3)             // sqadd v3.8h, v2.8h, v2.8h: 2*ge
+	SQADDH(3, 3, 4)             // sqadd v4.8h, v3.8h, v3.8h: 4*ge
+	SQADDH(4, 4, 5)             // sqadd v5.8h, v4.8h, v4.8h: 8*ge
+	VMOVQ $0x8000800080008000, $0x8000800080008000, V6
+	MOVD $bswBitsTab<>(SB), R9
+	VLD1 (R9), [V7.H8, V8.H8]
+	MOVH 60(R0), R9
+	VDUP R9, V9.H8              // oe
+	MOVH 64(R0), R9
+	VDUP R9, V10.H8             // clamp
+	// F carry: lane 7 of V13 (global lane 15) seeds each group's
+	// incoming chain value; the first group takes the boundary cell's
+	// c, sat(hleft - oe).
+	MOVH 66(R0), R9
+	VDUP R9, V13.H8
+	SQSUBH(9, 13, 13)           // sqsub v13.8h, v13.8h, v9.8h
+	VMOV V6.B16, V11.B16        // row max accumulator
+	VMOV V6.B16, V12.B16
+	MOVD $0, R7                 // gi
+
+groups:
+	// s: broadcast the group's 16 match bits, test against the bit
+	// table, select match/mism. V14 = lanes 0-7, V15 = lanes 8-15.
+	ADD  R7<<1, R4, R9
+	MOVHU (R9), R9
+	VDUP R9, V22.H8
+	VAND V7.B16, V22.B16, V14.B16
+	VCMEQ V7.H8, V14.H8, V14.H8
+	VAND V8.B16, V22.B16, V15.B16
+	VCMEQ V8.H8, V15.H8, V15.H8
+	VBSL V1.B16, V0.B16, V14.B16 // mask ? match : mism
+	VBSL V1.B16, V0.B16, V15.B16
+
+	// htmp = max(diag + s, e) with e = max(prevH-oe, E-ge); E is
+	// stored back before the F merge, exactly like the scalar path.
+	ADD  R6, R1, R9
+	SUB  $2, R9, R10            // &prevH[lo-1 + 16*gi]
+	VLD1 (R10), [V16.H8, V17.H8]
+	SQADDH(14, 16, 16)          // sqadd v16.8h, v16.8h, v14.8h: diag + s
+	SQADDH(15, 17, 17)
+	VLD1 (R9), [V22.H8, V23.H8]
+	SQSUBH(9, 22, 22)           // sqsub v22.8h, v22.8h, v9.8h: prevH - oe
+	SQSUBH(9, 23, 23)
+	ADD  R6, R3, R11
+	VLD1 (R11), [V24.H8, V25.H8]
+	SQSUBH(2, 24, 24)           // sqsub v24.8h, v24.8h, v2.8h: E - ge
+	SQSUBH(2, 25, 25)
+	SMAXH(24, 22, 22)           // smax v22.8h, v22.8h, v24.8h: e
+	SMAXH(25, 23, 23)
+	VST1 [V22.H8, V23.H8], (R11)
+	SMAXH(22, 16, 16)           // smax v16.8h, v16.8h, v22.8h
+	SMAXH(23, 17, 17)
+	SMAXH(10, 16, 16)           // htmp2 = max(htmp, clamp)
+	SMAXH(10, 17, 17)
+
+	// c = sat(htmp2 - oe); u = c shifted up one lane with the carry
+	// register's lane shifted in.
+	SQSUBH(9, 16, 18)           // sqsub v18.8h, v16.8h, v9.8h
+	SQSUBH(9, 17, 19)
+	VEXT $14, V18.B16, V13.B16, V20.B16 // u lo = [carry15, c0..c6]
+	VEXT $14, V19.B16, V18.B16, V21.B16 // u hi = [c7, c8..c14]
+
+	// Log-step prefix-max scan (shift up 1, 2, 4, 8 lanes with
+	// sentinel fill; see row_amd64.s).
+	VEXT $14, V20.B16, V6.B16, V22.B16
+	VEXT $14, V21.B16, V20.B16, V23.B16
+	SQSUBH(2, 22, 22)           // sqsub v22.8h, v22.8h, v2.8h
+	SQSUBH(2, 23, 23)
+	SMAXH(22, 20, 20)
+	SMAXH(23, 21, 21)
+	VEXT $12, V20.B16, V6.B16, V22.B16
+	VEXT $12, V21.B16, V20.B16, V23.B16
+	SQSUBH(3, 22, 22)           // sqsub v22.8h, v22.8h, v3.8h
+	SQSUBH(3, 23, 23)
+	SMAXH(22, 20, 20)
+	SMAXH(23, 21, 21)
+	VEXT $8, V20.B16, V6.B16, V22.B16
+	VEXT $8, V21.B16, V20.B16, V23.B16
+	SQSUBH(4, 22, 22)           // sqsub v22.8h, v22.8h, v4.8h
+	SQSUBH(4, 23, 23)
+	SMAXH(22, 20, 20)
+	SMAXH(23, 21, 21)
+	// Shift up 8 words: shifted lo is all sentinel (max no-op), hi is
+	// the current lo.
+	SQSUBH(5, 20, 22)           // sqsub v22.8h, v20.8h, v5.8h
+	SMAXH(22, 21, 21)           // f
+
+	// Next group's carry: lane 15 of max(c, sat(f - ge)).
+	SQSUBH(2, 21, 13)           // sqsub v13.8h, v21.8h, v2.8h
+	SMAXH(19, 13, 13)           // smax v13.8h, v13.8h, v19.8h
+
+	// H = max(htmp2, f); store, fold into the row max (last group
+	// blends out-of-band lanes to the sentinel first).
+	SMAXH(20, 16, 16)
+	SMAXH(21, 17, 17)
+	ADD  R6, R2, R9
+	VST1 [V16.H8, V17.H8], (R9)
+	ADD  $1, R7, R10
+	CMP  R5, R10
+	BEQ  lastgroup
+	SMAXH(16, 11, 11)
+	SMAXH(17, 12, 12)
+	B    next
+
+lastgroup:
+	MOVHU 48(R0), R9
+	VDUP R9, V22.H8
+	VAND V7.B16, V22.B16, V23.B16
+	VCMEQ V7.H8, V23.H8, V23.H8
+	VAND V8.B16, V22.B16, V24.B16
+	VCMEQ V8.H8, V24.H8, V24.H8
+	VBSL V6.B16, V16.B16, V23.B16 // in-band ? h : sentinel
+	SMAXH(23, 11, 11)
+	VBSL V6.B16, V17.B16, V24.B16
+	SMAXH(24, 12, 12)
+
+next:
+	ADD  $32, R6
+	ADD  $1, R7
+	CMP  R5, R7
+	BLT  groups
+
+	// Horizontal max of the accumulator -> args.rowMax.
+	SMAXH(12, 11, 11)
+	VEXT $8, V11.B16, V11.B16, V22.B16
+	SMAXH(22, 11, 11)
+	VEXT $4, V11.B16, V11.B16, V22.B16
+	SMAXH(22, 11, 11)
+	VEXT $2, V11.B16, V11.B16, V22.B16
+	SMAXH(22, 11, 11)
+	VMOV V11.H[0], R9
+	MOVH R9, 68(R0)
+	RET

@@ -1,0 +1,103 @@
+package cpufeat
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestDetectBaseline(t *testing.T) {
+	f := detect()
+	switch runtime.GOARCH {
+	case "amd64":
+		if !f.HasSSE2 {
+			t.Fatal("amd64 must report SSE2: it is part of the architecture baseline")
+		}
+		if f.HasNEON {
+			t.Fatal("amd64 must not report NEON")
+		}
+	case "arm64":
+		if !f.HasNEON {
+			t.Fatal("arm64 must report NEON: ASIMD is part of the architecture baseline")
+		}
+		if f.HasSSE2 || f.HasAVX2 {
+			t.Fatal("arm64 must not report x86 tiers")
+		}
+	default:
+		if f.HasSSE2 || f.HasAVX2 || f.HasNEON {
+			t.Fatalf("no SIMD tiers expected on %s, got %+v", runtime.GOARCH, f)
+		}
+	}
+}
+
+func TestOverrideLowersCeilingOnly(t *testing.T) {
+	hw := detect()
+
+	restore := ForceForTest("off")
+	if Get().HasSSE2 || Get().HasAVX2 || Get().HasNEON {
+		t.Fatal("GBENCH_SIMD=off must disable every tier")
+	}
+	if Active() != "portable" {
+		t.Fatalf("Active under off = %q, want portable", Active())
+	}
+	if Wide16() {
+		t.Fatal("Wide16 must be false under GBENCH_SIMD=off")
+	}
+	restore()
+
+	restore = ForceForTest("sse2")
+	if Get().HasAVX2 || Get().HasNEON {
+		t.Fatal("GBENCH_SIMD=sse2 must disable AVX2 and NEON")
+	}
+	if Get().HasSSE2 != hw.HasSSE2 {
+		t.Fatal("GBENCH_SIMD=sse2 must not invent or remove SSE2 support")
+	}
+	restore()
+
+	restore = ForceForTest("avx2")
+	if Get().HasAVX2 && !hw.HasAVX2 {
+		t.Fatal("an override must never enable a tier the hardware lacks")
+	}
+	restore()
+
+	restore = ForceForTest("neon")
+	if Get().HasSSE2 || Get().HasAVX2 {
+		t.Fatal("GBENCH_SIMD=neon must disable x86 tiers")
+	}
+	if Get().HasNEON != hw.HasNEON {
+		t.Fatal("an override must never enable NEON where the hardware lacks it")
+	}
+	restore()
+
+	// After every restore the effective set is back to process state.
+	if Get().Override != parseOverride(Get().Override) {
+		t.Fatal("restore left a non-canonical override")
+	}
+}
+
+func TestParseOverride(t *testing.T) {
+	for in, want := range map[string]string{
+		"off": "off", "OFF": "off", " Sse2 ": "sse2", "avx2": "avx2",
+		"neon": "neon", "": "", "bogus": "", "avx512": "",
+	} {
+		if got := parseOverride(in); got != want {
+			t.Errorf("parseOverride(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStringCarriesOverride(t *testing.T) {
+	restore := ForceForTest("off")
+	defer restore()
+	s := String()
+	if !strings.Contains(s, "portable") || !strings.Contains(s, "GBENCH_SIMD=off") {
+		t.Fatalf("String() = %q, want portable with override stamp", s)
+	}
+}
+
+func TestWide16MatchesTiers(t *testing.T) {
+	f := Get()
+	if Wide16() != (f.HasAVX2 || f.HasNEON) {
+		t.Fatal("Wide16 must be exactly AVX2-or-NEON")
+	}
+}

@@ -1,0 +1,8 @@
+package cpufeat
+
+// detect probes the hardware tiers on arm64. ASIMD (NEON) is part of
+// the ARMv8-A baseline the Go toolchain targets, so no HWCAP read is
+// needed: if the binary runs at all, the q-register kernels run.
+func detect() Features {
+	return Features{HasNEON: true}
+}

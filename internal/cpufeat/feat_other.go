@@ -1,0 +1,8 @@
+//go:build !amd64 && !arm64
+
+package cpufeat
+
+// detect on architectures without any asm kernels: portable Go only.
+func detect() Features {
+	return Features{}
+}

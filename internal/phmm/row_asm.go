@@ -2,13 +2,18 @@
 
 package phmm
 
+import "repro/internal/cpufeat"
+
 // Assembly fast paths for the lane-batched row update: SSE2 on amd64
 // (row_amd64.s), NEON on arm64 (row_arm64.s). Both kernels replay
 // rowQuad's per-lane arithmetic with packed 4-wide ops — same
 // operations, same rounding order, so their output is bit-identical to
 // the pure-Go quad path (TestRowLanesMatchesRowQuad asserts exactly
 // that). SSE2 is in the amd64 baseline and ASIMD in the arm64
-// baseline, so no feature detection is needed on either.
+// baseline, so the hardware always qualifies; dispatch still consults
+// cpufeat so GBENCH_SIMD=off pins the portable quad path — every asm
+// kernel in the suite has a forced-portable twin reachable without
+// rebuilding.
 //
 // The arm64 kernel earns bit-identity differently than the amd64 one:
 // the Go arm64 assembler exposes no packed FMUL/FADD, so the NEON
@@ -62,9 +67,17 @@ func rowLanesAsm(a *rowArgs)
 
 // rowLanes advances all eight lanes of one read position: column 0 of
 // the current rows is zeroed and columns 1..n are filled from the
-// previous rows, exactly as two rowQuad sweeps would.
+// previous rows, exactly as two rowQuad sweeps would. With the SIMD
+// tier overridden off, it IS two rowQuad sweeps.
 func rowLanes(rowMask []uint8, priorMatch, priorMismatch float32,
 	prevM, prevI, prevD, curM, curI, curD []float32, n int) {
+	if f := cpufeat.Get(); !f.HasSSE2 && !f.HasNEON {
+		rowQuad(rowMask, priorMatch, priorMismatch,
+			&prevM[0], &prevI[0], &prevD[0], &curM[0], &curI[0], &curD[0], n, 0)
+		rowQuad(rowMask, priorMatch, priorMismatch,
+			&prevM[0], &prevI[0], &prevD[0], &curM[0], &curI[0], &curD[0], n, 4)
+		return
+	}
 	a := rowArgs{
 		pPM: &prevM[0], pPI: &prevI[0], pPD: &prevD[0],
 		pCM: &curM[0], pCI: &curI[0], pCD: &curD[0],

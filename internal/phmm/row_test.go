@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/cpufeat"
+	"repro/internal/genome"
 	"repro/internal/lanes"
 )
 
@@ -54,6 +56,47 @@ func TestRowLanesMatchesRowQuad(t *testing.T) {
 						math.Float32bits(got[o]), math.Float32bits(want[o]))
 				}
 			}
+		}
+	}
+}
+
+// TestRowLanesSimdOffMatches pins GBENCH_SIMD=off and re-runs a full
+// lane-batched region evaluation: rowLanes must fall back to the
+// portable quad sweeps and produce bit-identical likelihoods to the
+// default (assembly on amd64/arm64) dispatch.
+func TestRowLanesSimdOffMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	mkSeq := func(n int) genome.Seq {
+		s := make(genome.Seq, n)
+		for i := range s {
+			s[i] = genome.Base(rng.Intn(4))
+		}
+		return s
+	}
+	rg := &Region{}
+	for h := 0; h < 2*lanes.Width+3; h++ {
+		rg.Haps = append(rg.Haps, mkSeq(40+rng.Intn(30)))
+	}
+	for r := 0; r < 6; r++ {
+		seq := mkSeq(20 + rng.Intn(20))
+		quals := make([]byte, len(seq))
+		for i := range quals {
+			quals[i] = byte(10 + rng.Intn(30))
+		}
+		rg.Reads = append(rg.Reads, seq)
+		rg.Quals = append(rg.Quals, quals)
+	}
+	def := EvaluateRegionInto(rg, NewScratch())
+	defLik := append([]float64(nil), def.Likelihoods...)
+	restore := cpufeat.ForceForTest("off")
+	defer restore()
+	off := EvaluateRegionInto(rg, NewScratch())
+	if len(defLik) != len(off.Likelihoods) {
+		t.Fatalf("likelihood count differs: %d vs %d", len(defLik), len(off.Likelihoods))
+	}
+	for i := range defLik {
+		if math.Float64bits(defLik[i]) != math.Float64bits(off.Likelihoods[i]) {
+			t.Fatalf("pair %d: default dispatch %v != GBENCH_SIMD=off %v", i, defLik[i], off.Likelihoods[i])
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package poa
 
 import (
+	"repro/internal/cpufeat"
 	"repro/internal/genome"
 	"repro/internal/lanes"
 	"repro/internal/scratch"
@@ -19,10 +20,11 @@ import (
 //   - The graph is streamed through the CSR snapshot: predecessor DP
 //     rows come from one flat slice per node, already resolved to row
 //     indices, so the inner loop is loads off a contiguous array.
-//   - Eight columns advance per step as an int16 lane vector. The
-//     match/mismatch choice comes from a SWAR byte-compare mask over
-//     the 2-bit packed query (seq2.MatchMaskBits): one shift yields
-//     the 8-column match octet, one blend turns it into substitution
+//   - Sixteen columns advance per step as an int16 lane vector (the
+//     wide tier; lanes.I16x16, one AVX2 ymm or NEON q-pair). The
+//     match/mismatch choice comes from a dense bit mask over the
+//     2-bit packed query (seq2.MatchMaskBits): one 16-bit read yields
+//     the group's match bits, one blend turns them into substitution
 //     scores — no per-cell base compare, no branch.
 //   - Only scores are stored (2 bytes per cell). Moves are recovered
 //     during backtracking by re-checking each visited cell's
@@ -30,6 +32,10 @@ import (
 //     running strict-greater maximum keeps the FIRST candidate that
 //     reaches the final value, so "first candidate equal to the cell
 //     score" recovers exactly the scalar moveT/movePred decisions.
+//
+// The per-row body lives in row_wide.go (portable) and row_amd64.s /
+// row_arm64.s (AVX2 / NEON), dispatched once per alignment on
+// cpufeat.Wide16() — so GBENCH_SIMD=off pins the portable twin.
 //
 // The result is bit-identical to the scalar path: same scores, same
 // backtrack tie-breaks, same fused graph, same CellUpdates. The
@@ -49,13 +55,17 @@ func absScore(x int32) int64 {
 }
 
 // laneEligible reports whether the int16 sweep represents every
-// intermediate DP value exactly. |score| at DP cell (ri, j) is bounded
-// by maxAbs*(ri+j) <= maxAbs*(V+n+7) including the padded columns, and
-// each candidate adds one more maxAbs before comparing, so
-// maxAbs*(V+n+8) must fit int16. Below the bound the wrapping int16
-// adds equal the scalar int32 arithmetic bit for bit; 32000 leaves
-// slack rather than shaving the boundary. Ineligible windows (huge
-// graphs or extreme scores) take the scalar int32 path.
+// intermediate DP value exactly. |score| at DP cell (ri, j) is
+// bounded by maxAbs*(ri+j) <= maxAbs*(V+n+15) including the padded
+// columns, and each candidate adds one more maxAbs before comparing,
+// so maxAbs*(V+n+16) must fit int16. Below the bound the saturating
+// int16 adds never clamp and equal the scalar int32 arithmetic bit
+// for bit; 32000 leaves slack rather than shaving the boundary. The
+// wide kernels' prefix-max gap scan additionally requires gap <= 0 so
+// its -32768 sentinel fill is a fixed point of the saturating scan
+// adds (row_wide.go); a gap bonus is a degenerate configuration, and
+// it takes the scalar path like any other ineligible window (huge
+// graphs, extreme scores).
 func laneEligible(p Params, V, n int) bool {
 	maxAbs := absScore(p.Match)
 	if m := absScore(p.Mismatch); m > maxAbs {
@@ -67,7 +77,7 @@ func laneEligible(p Params, V, n int) bool {
 	if maxAbs == 0 {
 		maxAbs = 1
 	}
-	return maxAbs*int64(V+n+8) <= 32000
+	return p.Gap <= 0 && maxAbs*int64(V+n+16) <= 32000
 }
 
 // addSequenceLanes is the lane-batched AddSequenceMode body. order is
@@ -76,16 +86,18 @@ func (g *Graph) addSequenceLanes(seq genome.Seq, p Params, mode AlignMode, order
 	n := len(seq)
 	V := len(order)
 	c := g.csrSnapshot(order)
-	// Row width: column 0 plus n rounded up to whole 8-column groups.
-	// Padding columns compute garbage that never feeds a real column
-	// (column j reads only columns j-1 and j, and padding is strictly
-	// trailing), and their values stay inside the int16 range proof.
-	wpad := 1 + (n+7)/8*8
+	// Row width: column 0 plus n rounded up to whole 16-column groups
+	// (lanes.WideWidth). Padding columns compute garbage that never
+	// feeds a real column (column j reads only columns j-1 and j, and
+	// padding is strictly trailing), and their values stay inside the
+	// int16 range proof.
+	wpad := 1 + (n+lanes.WideWidth-1)/lanes.WideWidth*lanes.WideWidth
+	ngroups := (wpad - 1) / lanes.WideWidth
 	g.score16 = scratch.Grow(g.score16, (V+1)*wpad)
 	score := g.score16
 	// Pack the query and build the four per-base dense match masks,
-	// sized so the last group's octet read stays in bounds; words past
-	// the query are zeroed (no base matches a padding column).
+	// sized so the last group's 16-bit read stays in bounds; words
+	// past the query are zeroed (no base matches a padding column).
 	g.packBuf = seq2.PackInto(g.packBuf, seq).WordsSlice()
 	packed := seq2.FromWords(g.packBuf, n)
 	mw := (wpad-2)/64 + 1
@@ -98,6 +110,10 @@ func (g *Graph) addSequenceLanes(seq genome.Seq, p Params, mode AlignMode, order
 		}
 	}
 	match16, mism16, gap16 := int16(p.Match), int16(p.Mismatch), int16(p.Gap)
+	// One dispatch decision per alignment, not per row: asm needs both
+	// a compiled kernel and a live wide tier (GBENCH_SIMD can lower
+	// the ceiling to the portable twin at run time).
+	useAsm := poaHaveWideAsm && cpufeat.Wide16()
 	// Row 0: virtual start.
 	score[0] = 0
 	for j := 1; j < wpad; j++ {
@@ -122,50 +138,18 @@ func (g *Graph) addSequenceLanes(seq genome.Seq, p Params, mode AlignMode, order
 			}
 			score[row] = best0
 		}
+		// Resolve predecessor rows to element offsets once; the row
+		// kernels then touch nothing but flat arrays.
+		g.predOff = scratch.Grow(g.predOff, len(plist))
+		predOff := g.predOff[:len(plist)]
+		for k, pr := range plist {
+			predOff[k] = int64(pr) * int64(wpad)
+		}
 		mask := g.maskBits[c.bases[r]&3]
-		for j0 := 1; j0 < wpad; j0 += 8 {
-			// j0-1 is a multiple of 8, so the match octet is 8-bit
-			// aligned within its word and never straddles two words.
-			mb := uint8(mask[(j0-1)>>6] >> (uint(j0-1) & 63))
-			subv := lanes.PickI16(mb, match16, mism16)
-			prow := int(plist[0]) * wpad
-			best := lanes.Load8I16(score, prow+j0-1).Add(subv)
-			best = best.Max(lanes.Load8I16(score, prow+j0).AddS(gap16))
-			for _, pr := range plist[1:] {
-				prow = int(pr) * wpad
-				best = best.Max(lanes.Load8I16(score, prow+j0-1).Add(subv))
-				best = best.Max(lanes.Load8I16(score, prow+j0).AddS(gap16))
-			}
-			// Horizontal left chain: final[j] = max(vert[j],
-			// final[j-1]+gap). Serial by definition, so it runs scalar
-			// across the group, unrolled over the lane struct fields;
-			// vertical candidates win ties exactly as in the scalar
-			// path (left replaces only on strict greater).
-			if s := score[row+j0-1] + gap16; s > best.Lo.A {
-				best.Lo.A = s
-			}
-			if s := best.Lo.A + gap16; s > best.Lo.B {
-				best.Lo.B = s
-			}
-			if s := best.Lo.B + gap16; s > best.Lo.C {
-				best.Lo.C = s
-			}
-			if s := best.Lo.C + gap16; s > best.Lo.D {
-				best.Lo.D = s
-			}
-			if s := best.Lo.D + gap16; s > best.Hi.A {
-				best.Hi.A = s
-			}
-			if s := best.Hi.A + gap16; s > best.Hi.B {
-				best.Hi.B = s
-			}
-			if s := best.Hi.B + gap16; s > best.Hi.C {
-				best.Hi.C = s
-			}
-			if s := best.Hi.C + gap16; s > best.Hi.D {
-				best.Hi.D = s
-			}
-			lanes.Store8I16(score, row+j0, best)
+		if useAsm {
+			poaRowWide(score, predOff, mask, row, ngroups, match16, mism16, gap16)
+		} else {
+			poaRowPortable(score, predOff, mask, row, ngroups, match16, mism16, gap16)
 		}
 	}
 	g.CellUpdates += uint64(V) * uint64(n)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/genome"
+	"repro/internal/lanes"
 )
 
 // addBoth adds seq to a scalar-pinned graph and a lane graph and
@@ -41,7 +42,7 @@ func addBoth(t *testing.T, gs, gl *Graph, seq genome.Seq, p Params, mode AlignMo
 func compareScoreTables(t *testing.T, gs, gl *Graph, V, n, trial, step int) {
 	t.Helper()
 	width := n + 1
-	wpad := 1 + (n+7)/8*8
+	wpad := 1 + (n+15)/16*16
 	for r := 0; r <= V; r++ {
 		for j := 0; j <= n; j++ {
 			want := gs.score[r*width+j]
@@ -150,6 +151,9 @@ func TestLaneEligibleGuard(t *testing.T) {
 	if laneEligible(DefaultParams(), 10000, 1000) {
 		t.Fatal("huge graphs must be ineligible")
 	}
+	if laneEligible(Params{Match: 1, Mismatch: -1, Gap: 1}, 10, 10) {
+		t.Fatal("a gap bonus must be ineligible: the wide scan's sentinel proof needs gap <= 0")
+	}
 	// An ineligible configuration still computes the scalar answer.
 	rng := rand.New(rand.NewSource(54))
 	w := randomWindow(rng)
@@ -158,6 +162,50 @@ func TestLaneEligibleGuard(t *testing.T) {
 	got, gotCells := ConsensusInto(w, p, New())
 	if !got.Equal(want) || gotCells != wantCells {
 		t.Fatal("ineligible window diverged from scalar reference")
+	}
+}
+
+// TestBarelyIneligibleForcedWideFallsBack pins the widened 16-lane
+// range proof at its boundary: a window that misses eligibility by a
+// hair must take the scalar path even when the caller forces wide
+// dispatch (forceLanes overrides the measured work floor, never the
+// proof), and must still produce the scalar result. With maxAbs=170
+// the bound maxAbs*(V+n+16) <= 32000 admits V+n <= 172: a 90-base
+// backbone re-aligned against itself (V=n=90, V+n=180) sits just
+// outside, a 78-base one (V+n=156) just inside.
+func TestBarelyIneligibleForcedWideFallsBack(t *testing.T) {
+	p := Params{Match: 170, Mismatch: -170, Gap: -1}
+	if laneEligible(p, 78, 78) != true {
+		t.Fatal("V+n=156 should pass the widened range proof")
+	}
+	if laneEligible(p, 90, 90) {
+		t.Fatal("V+n=180 should fail the widened range proof")
+	}
+	rng := rand.New(rand.NewSource(59))
+	backbone := genome.Random(rng, 90)
+	mutated := backbone.Clone()
+	for k := 0; k < 6; k++ {
+		mutated[rng.Intn(len(mutated))] = genome.Base(rng.Intn(4))
+	}
+
+	gs := New()
+	gs.forceScalar = true
+	gs.AddSequenceMode(backbone, p, GlobalMode)
+	gs.AddSequenceMode(mutated, p, GlobalMode)
+
+	gw := New()
+	gw.forceLanes = true
+	gw.AddSequenceMode(backbone, p, GlobalMode)
+	gw.AddSequenceMode(mutated, p, GlobalMode)
+
+	if len(gw.score16) != 0 {
+		t.Fatal("barely-ineligible window still took the wide int16 path under forced dispatch")
+	}
+	if gw.NumNodes() != gs.NumNodes() || gw.NumEdges() != gs.NumEdges() {
+		t.Fatal("fallback graph shape diverged from the scalar reference")
+	}
+	if !gw.Consensus().Equal(gs.Consensus()) {
+		t.Fatal("fallback consensus diverged from the scalar reference")
 	}
 }
 
@@ -210,7 +258,7 @@ func TestLaneMinWorkDispatch(t *testing.T) {
 	p := DefaultParams()
 	want, _ := ConsensusScalarInto(w, p, New())
 
-	restore := laneMinWork.Set(laneMinWorkCap)
+	restore := lanes.WideMinWork.Set(lanes.WideMinWorkCap)
 	g := New()
 	got, _ := ConsensusInto(w, p, g)
 	if len(g.score16) != 0 {
@@ -221,7 +269,7 @@ func TestLaneMinWorkDispatch(t *testing.T) {
 	}
 	restore()
 
-	defer laneMinWork.Set(0)()
+	defer lanes.WideMinWork.Set(0)()
 	g = New()
 	got, _ = ConsensusInto(w, p, g)
 	if len(g.score16) == 0 {
@@ -232,12 +280,12 @@ func TestLaneMinWorkDispatch(t *testing.T) {
 	}
 }
 
-// TestProbeLaneMinWork checks the microprobe returns an in-range,
+// TestProbeWideMinWork checks the microprobe returns an in-range,
 // cap-respecting answer on this host.
-func TestProbeLaneMinWork(t *testing.T) {
-	got := probeLaneMinWork()
-	if got < 0 || got > laneMinWorkCap {
-		t.Fatalf("probe returned %d, out of [0, %d]", got, laneMinWorkCap)
+func TestProbeWideMinWork(t *testing.T) {
+	got := probeWideMinWork()
+	if got < 0 || got > lanes.WideMinWorkCap {
+		t.Fatalf("probe returned %d, out of [0, %d]", got, lanes.WideMinWorkCap)
 	}
 }
 
@@ -246,7 +294,7 @@ func TestProbeLaneMinWork(t *testing.T) {
 // to zero so both sides measure what their names promise regardless of
 // the probe's verdict on the bench host.
 func BenchmarkAddSequenceLanes(b *testing.B) {
-	defer laneMinWork.Set(0)()
+	defer lanes.WideMinWork.Set(0)()
 	rng := rand.New(rand.NewSource(55))
 	windows := make([]*Window, 8)
 	for i := range windows {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/genome"
+	"repro/internal/lanes"
 	"repro/internal/parallel"
 	"repro/internal/perf"
 	"repro/internal/scratch"
@@ -80,13 +81,14 @@ type Graph struct {
 	score16  []int16
 	packBuf  []uint64
 	maskBits [4][]uint64
+	predOff  []int64
 	csr      csr
 	csrOK    bool
 
 	// forceScalar pins AddSequence to the scalar int32 reference path
 	// (set via ConsensusScalarInto, and by differential tests).
 	// forceLanes pins eligible windows to the lane path regardless of
-	// the measured laneMinWork threshold (differential tests and the
+	// the measured lanes.WideMinWork floor (differential tests and the
 	// tuning microprobe, which must not consult the tunable it feeds).
 	// forceScalar wins when both are set.
 	forceScalar bool
@@ -285,12 +287,12 @@ func (g *Graph) AddSequenceMode(seq genome.Seq, p Params, mode AlignMode) {
 	n := len(seq)
 	V := len(order)
 	// Lane dispatch is two independent questions: laneEligible is the
-	// int16 range proof (correctness — never overridden), laneMinWork
-	// the measured profitability floor on V*n (policy — forceLanes
-	// short-circuits it so forced paths and the microprobe never
-	// consult the tunable mid-resolution).
+	// int16 range proof (correctness — never overridden),
+	// lanes.WideMinWork the measured profitability floor on V*n
+	// (policy — forceLanes short-circuits it so forced paths and the
+	// microprobe never consult the tunable mid-resolution).
 	if !g.forceScalar && laneEligible(p, V, n) &&
-		(g.forceLanes || V*n >= laneMinWork.Get()) {
+		(g.forceLanes || V*n >= lanes.WideMinWork.Get()) {
 		g.addSequenceLanes(seq, p, mode, order)
 		return
 	}

@@ -1,0 +1,114 @@
+// AVX2 16-wide row kernel for the POA lane sweep. One ymm register
+// holds one 16-column group of saturating int16 DP cells; see
+// row_wide.go for the kernel contract and the proof sketch that the
+// log-step prefix-max gap scan below is bit-identical to the portable
+// serial chain for gap <= 0.
+
+#include "textflag.h"
+
+// poaBitsTab: words [1, 2, 4, ..., 0x8000]. Broadcasting a group's
+// 16 match bits and comparing (word AND tab) == tab turns bit l into
+// an all-ones word in lane l.
+DATA poaBitsTab<>+0x00(SB)/8, $0x0008000400020001
+DATA poaBitsTab<>+0x08(SB)/8, $0x0080004000200010
+DATA poaBitsTab<>+0x10(SB)/8, $0x0800040002000100
+DATA poaBitsTab<>+0x18(SB)/8, $0x8000400020001000
+GLOBL poaBitsTab<>(SB), RODATA|NOPTR, $32
+
+// poaLane0: byte mask selecting word lane 0 only (VPBLENDVB control).
+DATA poaLane0<>+0x00(SB)/8, $0x000000000000FFFF
+DATA poaLane0<>+0x08(SB)/8, $0x0000000000000000
+DATA poaLane0<>+0x10(SB)/8, $0x0000000000000000
+DATA poaLane0<>+0x18(SB)/8, $0x0000000000000000
+GLOBL poaLane0<>(SB), RODATA|NOPTR, $32
+
+// Register plan:
+//   Y1 match splat    Y2 mism splat   Y3 gap      Y4 2*gap
+//   Y5 4*gap          Y6 8*gap        Y7 -32768   Y8 bits table
+//   Y9 lane-0 mask    Y10 subv        Y11 best    Y12, Y13 temps
+// The gap multiples are built with VPADDSW; |8*gap| is far inside
+// int16 under the eligibility bound, so they are exact.
+
+// func poaRowAsm(a *poaRowArgs)
+TEXT ·poaRowAsm(SB), NOSPLIT, $0-8
+	MOVQ a+0(FP), AX
+	MOVQ 0(AX), SI              // score base
+	MOVQ 8(AX), DI              // predOff
+	MOVQ 16(AX), R8             // mask words
+	MOVQ 24(AX), R9             // rowOff (elements)
+	MOVQ 32(AX), R10            // npred
+	MOVQ 40(AX), R11            // ngroups
+	VPBROADCASTW 48(AX), Y1     // match
+	VPBROADCASTW 50(AX), Y2     // mism
+	VPBROADCASTW 52(AX), Y3     // gap
+	VPADDSW Y3, Y3, Y4          // 2*gap
+	VPADDSW Y4, Y4, Y5          // 4*gap
+	VPADDSW Y5, Y5, Y6          // 8*gap
+	VPCMPEQD Y7, Y7, Y7
+	VPSLLW $15, Y7, Y7          // -32768 sentinel
+	VMOVDQU poaBitsTab<>(SB), Y8
+	VMOVDQU poaLane0<>(SB), Y9
+	LEAQ (SI)(R9*2), R9         // &score[rowOff]
+	XORQ R12, R12               // gi
+
+groups:
+	// subv: group gi's 16 match bits live at byte offset 2*gi (they
+	// are 16-bit aligned because groups start at j0-1 = 16*gi).
+	VPBROADCASTW (R8)(R12*2), Y10
+	VPAND Y8, Y10, Y10
+	VPCMPEQW Y8, Y10, Y10
+	VPBLENDVB Y10, Y1, Y2, Y10  // bit set -> match, else mism
+
+	// Vertical candidates: running max over diag+up per predecessor.
+	VMOVDQA Y7, Y11
+	MOVQ R12, R15
+	SHLQ $5, R15                // 32*gi: byte offset of column j0-1
+	MOVQ DI, R13
+	MOVQ R10, R14
+predloop:
+	MOVQ (R13), BX              // predecessor row element offset
+	LEAQ (SI)(BX*2), BX
+	ADDQ R15, BX                // &score[prow + j0-1]
+	VMOVDQU (BX), Y12
+	VPADDSW Y10, Y12, Y12       // diag + sub
+	VPMAXSW Y12, Y11, Y11
+	VMOVDQU 2(BX), Y12
+	VPADDSW Y3, Y12, Y12        // up + gap
+	VPMAXSW Y12, Y11, Y11
+	ADDQ $8, R13
+	DECQ R14
+	JNZ predloop
+
+	// Left-chain carry from the finished column j0-1: lane 0 gets
+	// sat(carry+gap), the rest the -32768 sentinel (max no-ops).
+	VPBROADCASTW (R9)(R15*1), Y12
+	VPADDSW Y3, Y12, Y12
+	VPBLENDVB Y9, Y12, Y7, Y12
+	VPMAXSW Y12, Y11, Y11
+
+	// Log-step prefix-max gap scan: after shifts by 1, 2, 4, 8 lanes
+	// (sentinel-filled) each lane j holds max over k<=j of
+	// vert[k] + (j-k)*gap — the serial left chain.
+	VPERM2I128 $0x02, Y7, Y11, Y12 // [sentinel, best.lo]
+	VPALIGNR $14, Y12, Y11, Y13    // shift up 1 word
+	VPADDSW Y3, Y13, Y13
+	VPMAXSW Y13, Y11, Y11
+	VPERM2I128 $0x02, Y7, Y11, Y12
+	VPALIGNR $12, Y12, Y11, Y13    // shift up 2 words
+	VPADDSW Y4, Y13, Y13
+	VPMAXSW Y13, Y11, Y11
+	VPERM2I128 $0x02, Y7, Y11, Y12
+	VPALIGNR $8, Y12, Y11, Y13     // shift up 4 words
+	VPADDSW Y5, Y13, Y13
+	VPMAXSW Y13, Y11, Y11
+	VPERM2I128 $0x02, Y7, Y11, Y12 // shift up 8 words is the permute itself
+	VPADDSW Y6, Y12, Y12
+	VPMAXSW Y12, Y11, Y11
+
+	VMOVDQU Y11, 2(R9)(R15*1)      // store columns j0..j0+15
+	INCQ R12
+	CMPQ R12, R11
+	JLT groups
+
+	VZEROUPPER
+	RET

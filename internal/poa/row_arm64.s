@@ -1,0 +1,139 @@
+// NEON 16-wide row kernel for the POA lane sweep. A q-register pair
+// (lanes 0-7, 8-15) holds one 16-column group of saturating int16 DP
+// cells; see row_wide.go for the kernel contract and why the log-step
+// prefix-max gap scan is bit-identical to the portable serial chain
+// for gap <= 0.
+//
+// The Go arm64 assembler has no mnemonics for the signed saturating /
+// max vector ops this kernel is built from (SQADD, SMAX), so those
+// are emitted as raw instruction words through the macros below.
+// Encodings are the AdvSIMD "three same" class at arrangement .8H
+// (Q=1, size=01): base | Rm<<16 | Rn<<5 | Rd, verified against
+// llvm-mc. Every use carries the decoded form as a comment.
+
+#include "textflag.h"
+
+// SQADDH: sqadd v(d).8h, v(n).8h, v(m).8h
+#define SQADDH(m, n, d) WORD $(0x4E600C00 | ((m)<<16) | ((n)<<5) | (d))
+// SMAXH: smax v(d).8h, v(n).8h, v(m).8h
+#define SMAXH(m, n, d) WORD $(0x4E606400 | ((m)<<16) | ((n)<<5) | (d))
+
+// poaBitsTab: words [1, 2, ..., 0x8000]; see row_amd64.s.
+DATA poaBitsTab<>+0x00(SB)/8, $0x0008000400020001
+DATA poaBitsTab<>+0x08(SB)/8, $0x0080004000200010
+DATA poaBitsTab<>+0x10(SB)/8, $0x0800040002000100
+DATA poaBitsTab<>+0x18(SB)/8, $0x8000400020001000
+GLOBL poaBitsTab<>(SB), RODATA|NOPTR, $32
+
+// Register plan:
+//   V0 match   V1 mism    V2 gap     V3 2*gap   V4 4*gap   V5 8*gap
+//   V6 -32768  V7 bits lo V8 bits hi V9 lane-0 word mask
+//   V10/V11 best lo/hi    V12-V17 temps
+
+// func poaRowAsm(a *poaRowArgs)
+TEXT ·poaRowAsm(SB), NOSPLIT, $0-8
+	MOVD a+0(FP), R0
+	MOVD 0(R0), R1              // score base
+	MOVD 8(R0), R2              // predOff
+	MOVD 16(R0), R3             // mask words
+	MOVD 24(R0), R4             // rowOff (elements)
+	ADD  R4<<1, R1, R4          // &score[rowOff]
+	MOVD 32(R0), R5             // npred
+	MOVD 40(R0), R6             // ngroups
+	MOVH 48(R0), R11
+	VDUP R11, V0.H8             // match
+	MOVH 50(R0), R11
+	VDUP R11, V1.H8             // mism
+	MOVH 52(R0), R11
+	VDUP R11, V2.H8             // gap
+	SQADDH(2, 2, 3)             // sqadd v3.8h, v2.8h, v2.8h: 2*gap
+	SQADDH(3, 3, 4)             // sqadd v4.8h, v3.8h, v3.8h: 4*gap
+	SQADDH(4, 4, 5)             // sqadd v5.8h, v4.8h, v4.8h: 8*gap
+	VMOVQ $0x8000800080008000, $0x8000800080008000, V6
+	MOVD $poaBitsTab<>(SB), R11
+	VLD1 (R11), [V7.H8, V8.H8]
+	VMOVQ $0x000000000000FFFF, $0x0000000000000000, V9
+	MOVD $0, R7                 // gi
+
+groups:
+	// subv: broadcast the group's 16 match bits, test against the bit
+	// table, select match/mism. V14 = lanes 0-7, V15 = lanes 8-15.
+	ADD  R7<<1, R3, R11
+	MOVHU (R11), R11
+	VDUP R11, V13.H8
+	VAND V7.B16, V13.B16, V14.B16
+	VCMEQ V7.H8, V14.H8, V14.H8
+	VAND V8.B16, V13.B16, V15.B16
+	VCMEQ V8.H8, V15.H8, V15.H8
+	VBSL V1.B16, V0.B16, V14.B16 // mask ? match : mism
+	VBSL V1.B16, V0.B16, V15.B16
+
+	// Vertical candidates: running max over diag+up per predecessor.
+	VMOV V6.B16, V10.B16
+	VMOV V6.B16, V11.B16
+	LSL  $5, R7, R10            // 32*gi: byte offset of column j0-1
+	MOVD R2, R8
+	MOVD R5, R9
+predloop:
+	MOVD (R8), R11              // predecessor row element offset
+	ADD  R11<<1, R1, R11
+	ADD  R10, R11, R12          // &score[prow + j0-1]
+	VLD1 (R12), [V16.H8, V17.H8]
+	SQADDH(14, 16, 16)          // sqadd v16.8h, v16.8h, v14.8h: diag + sub
+	SMAXH(16, 10, 10)           // smax  v10.8h, v10.8h, v16.8h
+	SQADDH(15, 17, 17)          // sqadd v17.8h, v17.8h, v15.8h
+	SMAXH(17, 11, 11)           // smax  v11.8h, v11.8h, v17.8h
+	ADD  $2, R12, R13
+	VLD1 (R13), [V16.H8, V17.H8]
+	SQADDH(2, 16, 16)           // sqadd v16.8h, v16.8h, v2.8h: up + gap
+	SMAXH(16, 10, 10)           // smax  v10.8h, v10.8h, v16.8h
+	SQADDH(2, 17, 17)           // sqadd v17.8h, v17.8h, v2.8h
+	SMAXH(17, 11, 11)           // smax  v11.8h, v11.8h, v17.8h
+	ADD  $8, R8
+	SUBS $1, R9, R9
+	BNE  predloop
+
+	// Left-chain carry from the finished column j0-1: lane 0 gets
+	// sat(carry+gap), the rest the sentinel (max no-ops, so only the
+	// low half needs the max).
+	ADD  R10, R4, R12
+	MOVHU (R12), R11
+	VDUP R11, V16.H8
+	SQADDH(2, 16, 16)           // sqadd v16.8h, v16.8h, v2.8h: carry+gap
+	VMOV V9.B16, V17.B16
+	VBSL V6.B16, V16.B16, V17.B16 // lane 0 ? carry+gap : sentinel
+	SMAXH(17, 10, 10)           // smax v10.8h, v10.8h, v17.8h
+
+	// Log-step prefix-max gap scan (shift up 1, 2, 4, 8 lanes with
+	// sentinel fill; see row_amd64.s).
+	VEXT $14, V10.B16, V6.B16, V13.B16  // lo shifted up 1 word
+	VEXT $14, V11.B16, V10.B16, V14.B16 // hi shifted up 1 word
+	SQADDH(2, 13, 13)           // sqadd v13.8h, v13.8h, v2.8h
+	SQADDH(2, 14, 14)           // sqadd v14.8h, v14.8h, v2.8h
+	SMAXH(13, 10, 10)           // smax  v10.8h, v10.8h, v13.8h
+	SMAXH(14, 11, 11)           // smax  v11.8h, v11.8h, v14.8h
+	VEXT $12, V10.B16, V6.B16, V13.B16  // shift up 2 words
+	VEXT $12, V11.B16, V10.B16, V14.B16
+	SQADDH(3, 13, 13)           // sqadd v13.8h, v13.8h, v3.8h
+	SQADDH(3, 14, 14)           // sqadd v14.8h, v14.8h, v3.8h
+	SMAXH(13, 10, 10)
+	SMAXH(14, 11, 11)
+	VEXT $8, V10.B16, V6.B16, V13.B16   // shift up 4 words
+	VEXT $8, V11.B16, V10.B16, V14.B16
+	SQADDH(4, 13, 13)           // sqadd v13.8h, v13.8h, v4.8h
+	SQADDH(4, 14, 14)           // sqadd v14.8h, v14.8h, v4.8h
+	SMAXH(13, 10, 10)
+	SMAXH(14, 11, 11)
+	// Shift up 8 words: shifted lo is all sentinel (max no-op), hi is
+	// the current lo.
+	SQADDH(5, 10, 13)           // sqadd v13.8h, v10.8h, v5.8h
+	SMAXH(13, 11, 11)           // smax  v11.8h, v11.8h, v13.8h
+
+	ADD  R10, R4, R12
+	ADD  $2, R12, R12
+	VST1 [V10.H8, V11.H8], (R12) // store columns j0..j0+15
+	ADD  $1, R7
+	CMP  R6, R7
+	BLT  groups
+
+	RET

@@ -1,4 +1,4 @@
-// Measured lanes-vs-scalar dispatch for AddSequence.
+// The measured wide-vs-scalar dispatch probe for the 16-wide tier.
 //
 // laneEligible (lanes.go) proves the int16 sweep is exact for a
 // window; it says nothing about whether the sweep is FASTER. The lane
@@ -6,40 +6,33 @@
 // four match-mask builds — that the scalar path skips, so tiny
 // windows can lose to scalar even when eligible. Where that
 // break-even sits depends on the host, so it is measured once per
-// process by a microprobe instead of assumed: windows whose DP area
-// V*n falls below laneMinWork take the scalar path.
+// process (and persisted per host class) instead of assumed.
 //
-// Pin with GBENCH_TUNE_POA_LANE_MIN_WORK, or GBENCH_TUNE=off for the
-// default 0 (lanes whenever eligible — PR5's static policy).
+// The floor itself lives in the lanes package (lanes.WideMinWork) so
+// every wide consumer shares one host-class measurement; poa owns the
+// probe because it runs the heaviest wide sweep: this init registers
+// it via lanes.SetWideProbe. Pin with GBENCH_TUNE_LANES_WIDE_MIN_WORK,
+// or GBENCH_TUNE=off for the default 0 (wide whenever eligible).
 package poa
 
 import (
 	"repro/internal/genome"
+	"repro/internal/lanes"
 	"repro/internal/tuning"
 )
 
-// laneMinWorkCap bounds the probe's answer: a measurement can turn
-// lanes off for small windows, not disable them wholesale.
-const laneMinWorkCap = 1 << 14
-
-// Constructed in init: the probe runs full consensus builds, so a
-// plain var initializer would form a static reference cycle with the
-// dispatch site that reads the tunable (the short-circuit hooks break
-// the cycle at runtime, but the compiler can't see that).
-var laneMinWork *tuning.Int
-
 func init() {
-	laneMinWork = tuning.NewInt("poa.lane_min_work", 0, 0, laneMinWorkCap, probeLaneMinWork)
+	lanes.SetWideProbe(probeWideMinWork)
 }
 
-// probeLaneMinWork times full consensus builds with the path pinned
+// probeWideMinWork times full consensus builds with the path pinned
 // each way (forceLanes / ConsensusScalarInto — both short-circuit the
-// laneMinWork lookup, which is mid-resolution while the probe runs)
+// WideMinWork lookup, which is mid-resolution while the probe runs)
 // at a few window sizes, and returns the smallest probed DP area from
 // which lanes win and keep winning at every larger probed size. The
 // sequences are identical copies, so the graph stays backbone-shaped
 // and the area of every alignment after the first is exactly L*L.
-func probeLaneMinWork() int {
+func probeWideMinWork() int {
 	sizes := [...]int{8, 16, 32, 64}
 	p := DefaultParams()
 	mkWindow := func(l int) *Window {
@@ -65,7 +58,7 @@ func probeLaneMinWork() int {
 		scalarNs[si] = tuning.BestNs(reps, iters, func() { ConsensusScalarInto(w, p, gs) })
 	}
 
-	threshold := laneMinWorkCap
+	threshold := lanes.WideMinWorkCap
 	for si := len(sizes) - 1; si >= 0; si-- {
 		if laneNs[si] > scalarNs[si] {
 			break

@@ -49,6 +49,8 @@ func (p *pool[T]) reset() { p.next = 0 }
 // the same getter return distinct buffers.
 type Arena struct {
 	ints pool[int]
+	i16  pool[int16]
+	u16  pool[uint16]
 	i32  pool[int32]
 	u64  pool[uint64]
 	f32  pool[float32]
@@ -64,6 +66,8 @@ func New() *Arena { return &Arena{} }
 // handed out since the previous Reset. Call it at the top of each task.
 func (a *Arena) Reset() {
 	a.ints.reset()
+	a.i16.reset()
+	a.u16.reset()
 	a.i32.reset()
 	a.u64.reset()
 	a.f32.reset()
@@ -73,6 +77,12 @@ func (a *Arena) Reset() {
 
 // Ints returns a reusable []int of length n (contents unspecified).
 func (a *Arena) Ints(n int) []int { return a.ints.get(n) }
+
+// Int16s returns a reusable []int16 of length n (contents unspecified).
+func (a *Arena) Int16s(n int) []int16 { return a.i16.get(n) }
+
+// Uint16s returns a reusable []uint16 of length n (contents unspecified).
+func (a *Arena) Uint16s(n int) []uint16 { return a.u16.get(n) }
 
 // Int32s returns a reusable []int32 of length n (contents unspecified).
 func (a *Arena) Int32s(n int) []int32 { return a.i32.get(n) }
