@@ -84,11 +84,20 @@ func main() {
 		note      = flag.String("note", "", "free-form provenance note stamped on the report")
 		histOut   = flag.String("history-append", "", "append the report as one NDJSON line to this history file")
 		histIn    = flag.String("history", "", "in -compare mode, also run the trend gate over this NDJSON history file")
+		scenTrace = flag.String("scenario-trace", "", "run each scenario fused once and write its span trace as NDJSON to this file (no benchmarking)")
 	)
 	flag.Parse()
 
 	if *compare {
 		os.Exit(runCompare(flag.Args(), *tolerance, *histIn))
+	}
+	if *scenTrace != "" {
+		if err := writeScenarioTrace(*scenTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "gbench-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote scenario trace to %s\n", *scenTrace)
+		return
 	}
 
 	// Register the testing flags so the in-process benchmarks honor
@@ -131,6 +140,12 @@ func main() {
 			metricsOf(spec.baselineName, base),
 			metricsOf(spec.optimizedName, opt))
 		report.Entries[len(report.Entries)-1].Threads = spec.threads
+	}
+	if len(scenarioMismatches) > 0 {
+		for _, m := range scenarioMismatches {
+			fmt.Fprintf(os.Stderr, "gbench-bench: DIGEST MISMATCH %s\n", m)
+		}
+		os.Exit(1)
 	}
 
 	w := os.Stdout
@@ -281,7 +296,7 @@ type pairDef struct {
 // deterministic seeds. threads sets the parallel side of the
 // */threads scaling pairs.
 func allPairDefs(threads int) []pairDef {
-	return []pairDef{
+	defs := []pairDef{
 		{"bsw", bswPair},
 		{"phmm", phmmPair},
 		{"phmm", phmmLanesPair},
@@ -302,6 +317,7 @@ func allPairDefs(threads int) []pairDef {
 		{"fmindex", func() pairSpec { return fmindexThreadsPair(threads) }},
 		{"kmercnt", func() pairSpec { return kmercntThreadsPair(threads) }},
 	}
+	return append(defs, scenarioPairDefs()...)
 }
 
 // pileupPair measures the packed match-run counting path against the

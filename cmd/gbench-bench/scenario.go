@@ -1,0 +1,157 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/scratch"
+)
+
+// Scenario pairs measure whole pipelines, not single kernels: the
+// baseline is the staged reference executor (each stage runs to
+// completion over materialized intermediates), the optimized side the
+// fused streaming executor (bounded channels, all stage pools
+// concurrent). The pair speedup is therefore exactly the value of
+// stage overlap plus non-materialization, with both sides running the
+// same stage functions on the same warm arenas.
+//
+// Every measured run's digest is checked against a staged reference
+// digest computed at build time; a mismatch is a correctness bug in
+// the fused executor and fails the whole bench run (exit 1), because a
+// fast-but-wrong pipeline must never land in a committed report.
+
+// scenarioBenchParams shrinks each scenario to bench scale: one op
+// should sit in the hundreds of milliseconds so -reps runs finish in
+// minutes, while keeping every stage's work large enough that overlap
+// is measurable.
+var scenarioBenchParams = map[string]scenario.Params{
+	"variantcalling": {"ref_len": 8_000, "coverage": 20, "min_recall": 0.2},
+	"methylation":    {},
+	"metagenomics":   {"total_reads": 300},
+}
+
+// scenarioMismatches collects digest-identity violations observed
+// while measuring; main fails the run when any were recorded.
+var scenarioMismatches []string
+
+// scenarioPairDefs returns one before/after pair per registered
+// scenario. Threads is the fused executor's total worker concurrency —
+// on hosts without that many cores the compare and trend gates report
+// the pair as skipped, never as passed.
+func scenarioPairDefs() []pairDef {
+	var defs []pairDef
+	for _, name := range scenario.Names() {
+		name := name
+		defs = append(defs, pairDef{"scenario", func() pairSpec { return scenarioPair(name) }})
+	}
+	return defs
+}
+
+// benchPipeline builds a scenario at bench scale.
+func benchPipeline(name string) (*scenario.Def, *scenario.Pipeline, error) {
+	def := scenario.Get(name)
+	if def == nil {
+		return nil, nil, fmt.Errorf("scenario %q not registered", name)
+	}
+	p := def.Params.Clone()
+	for k, v := range scenarioBenchParams[name] {
+		p[k] = v
+	}
+	pipe, err := def.Build(p)
+	return def, pipe, err
+}
+
+func scenarioPair(name string) pairSpec {
+	_, pipe, err := benchPipeline(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gbench-bench: scenario %s: %v\n", name, err)
+		os.Exit(2)
+	}
+	opt := scenario.Options{Pool: scratch.NewPool()}
+
+	// Reference digest: one staged run before any measurement. Every
+	// timed run on either side must reproduce it bit for bit.
+	ref, err := scenario.RunStaged(context.Background(), name, pipe, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gbench-bench: scenario %s reference run: %v\n", name, err)
+		os.Exit(2)
+	}
+	check := func(mode string, res *scenario.Result, err error) {
+		if err != nil {
+			scenarioMismatches = append(scenarioMismatches,
+				fmt.Sprintf("scenario/%s %s run failed: %v", name, mode, err))
+			return
+		}
+		if res.Digest != ref.Digest {
+			scenarioMismatches = append(scenarioMismatches,
+				fmt.Sprintf("scenario/%s %s digest %016x != staged reference %016x",
+					name, mode, res.Digest, ref.Digest))
+		}
+	}
+
+	return pairSpec{
+		kernel: "scenario", pair: name, threads: pipe.FusedWorkers(opt),
+		baselineName:  "scenario/" + name + "/staged",
+		optimizedName: "scenario/" + name + "/fused",
+		baseline: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := scenario.RunStaged(context.Background(), name, pipe, opt)
+				check("staged", res, err)
+			}
+		},
+		optimized: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := scenario.RunFused(context.Background(), name, pipe, opt)
+				check("fused", res, err)
+			}
+		},
+	}
+}
+
+// writeScenarioTrace runs every registered scenario fused once under
+// an observer and writes the span trace as NDJSON — the file
+// gbench-report -scenarios renders as per-stage tables.
+func writeScenarioTrace(path string) error {
+	o := obs.NewObserver()
+	ctx := obs.With(context.Background(), o)
+	pool := scratch.NewPool()
+	for _, name := range scenario.Names() {
+		_, pipe, err := benchPipeline(name)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", name, err)
+		}
+		res, err := scenario.RunFused(ctx, name, pipe, scenario.Options{Pool: pool})
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "trace %-16s %d outputs, overlap %.2f, digest %016x\n",
+			"scenario/"+name, len(res.Final), res.Overlap, res.Digest)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	meta := core.RunMeta{
+		Type:       "meta",
+		Schema:     core.MetricsSchemaVersion,
+		Suite:      "genomicsbench-go",
+		Size:       "scenario",
+		Threads:    runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		Start:      time.Now().UTC().Format(time.RFC3339),
+	}
+	return core.WriteTraceNDJSON(f, meta, o)
+}

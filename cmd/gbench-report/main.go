@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/benchjson"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -39,7 +40,8 @@ func main() {
 		seed        = flag.Int64("seed", 42, "dataset seed")
 		metricsPath = flag.String("metrics", "", "render tables from a gbench -metrics NDJSON file")
 		historyPath = flag.String("history", "", "render speedup trend tables from a BENCH_HISTORY.ndjson file")
-		full        = flag.Bool("full", false, "with -metrics/-history, also regenerate the full paper report")
+		scenPath    = flag.String("scenarios", "", "render per-stage scenario pipeline tables from a gbench-bench -scenario-trace NDJSON file")
+		full        = flag.Bool("full", false, "with -metrics/-history/-scenarios, also regenerate the full paper report")
 	)
 	flag.Parse()
 	sz, err := core.ParseSize(*size)
@@ -59,6 +61,15 @@ func main() {
 	}
 	if *historyPath != "" {
 		if err := renderHistory(*historyPath); err != nil {
+			fmt.Fprintf(os.Stderr, "gbench-report: %v\n", err)
+			os.Exit(1)
+		}
+		if !*full && *scenPath == "" {
+			return
+		}
+	}
+	if *scenPath != "" {
+		if err := renderScenarios(*scenPath); err != nil {
 			fmt.Fprintf(os.Stderr, "gbench-report: %v\n", err)
 			os.Exit(1)
 		}
@@ -160,18 +171,22 @@ func renderHistory(path string) error {
 		if simd := simdOf[hk]; simd != "" {
 			fmt.Printf("SIMD: `%s` (latest record)\n\n", simd)
 		}
-		fmt.Println("| pair | trend | first | best | latest | drift |")
-		fmt.Println("|---|---|---|---|---|---|")
+		// Scenario pipeline pairs (fused vs staged whole-pipeline runs)
+		// measure a different thing than kernel micro pairs, so they get
+		// their own table below the kernel one.
+		var kernelTrends, scenarioTrends []*benchjson.Trend
 		for _, t := range byHost[hk] {
-			pair := t.Kernel + "/" + t.Pair
-			if t.Skipped {
-				fmt.Printf("| %s | _skipped: needs %d cores_ | | | | |\n", pair, t.Threads)
-				continue
+			if t.Kernel == "scenario" {
+				scenarioTrends = append(scenarioTrends, t)
+			} else {
+				kernelTrends = append(kernelTrends, t)
 			}
-			fmt.Printf("| %s | `%s` | %.2fx | %.2fx | %.2fx | %.0f%% |\n",
-				pair, benchjson.Sparkline(t.Speedups), t.First(), t.Best(), t.Last(), t.DriftPct())
 		}
-		fmt.Println()
+		trendTable(kernelTrends)
+		if len(scenarioTrends) > 0 {
+			fmt.Printf("### Scenario pipelines (fused vs staged)\n\n")
+			trendTable(scenarioTrends)
+		}
 	}
 
 	v := benchjson.TrendGate(records, benchjson.TrendOptions{})
@@ -193,11 +208,94 @@ func renderHistory(path string) error {
 	return nil
 }
 
+// trendTable renders one group of trends as the sparkline table.
+func trendTable(trends []*benchjson.Trend) {
+	fmt.Println("| pair | trend | first | best | latest | drift |")
+	fmt.Println("|---|---|---|---|---|---|")
+	for _, t := range trends {
+		pair := t.Kernel + "/" + t.Pair
+		if t.Skipped {
+			fmt.Printf("| %s | _skipped: needs %d cores_ | | | | |\n", pair, t.Threads)
+			continue
+		}
+		fmt.Printf("| %s | `%s` | %.2fx | %.2fx | %.2fx | %.0f%% |\n",
+			pair, benchjson.Sparkline(t.Speedups), t.First(), t.Best(), t.Last(), t.DriftPct())
+	}
+	fmt.Println()
+}
+
 func labelOr(r *benchjson.Report, fallback string) string {
 	if r.Label != "" {
 		return r.Label
 	}
 	return fallback
+}
+
+// renderScenarios parses a gbench-bench -scenario-trace NDJSON file
+// and renders one per-stage table per scenario run: each pipeline root
+// span ("scenario/<name>/<mode>") becomes a section whose rows are its
+// child stage spans, with the executor's occupancy/queue annotations
+// as columns. Any malformed line fails the whole report.
+func renderScenarios(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	mf, err := core.ReadMetricsNDJSON(f)
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	type rootRun struct {
+		rec    obs.SpanRecord
+		stages []obs.SpanRecord
+	}
+	var roots []*rootRun
+	byID := map[uint64]*rootRun{}
+	for _, s := range mf.Spans {
+		if s.Parent == 0 && strings.HasPrefix(s.Name, "scenario/") {
+			r := &rootRun{rec: s}
+			roots = append(roots, r)
+			byID[s.ID] = r
+		}
+	}
+	for _, s := range mf.Spans {
+		if r, ok := byID[s.Parent]; ok {
+			r.stages = append(r.stages, s)
+		}
+	}
+	if len(roots) == 0 {
+		return fmt.Errorf("%s holds no scenario pipeline spans", path)
+	}
+	fmt.Printf("# Scenario pipeline report\n\n")
+	if m := mf.Meta; m != nil {
+		fmt.Printf("Trace started %s on %s/%s (%s, GOMAXPROCS %d).\n\n",
+			m.Start, m.OS, m.Arch, m.GoVersion, m.GOMAXPROCS)
+	}
+	annot := func(s obs.SpanRecord, key string) string {
+		if v, ok := s.Annots[key]; ok {
+			return v
+		}
+		return "-"
+	}
+	for _, r := range roots {
+		fmt.Printf("## %s\n\n", r.rec.Name)
+		fmt.Printf("%.1f ms end to end, %s outputs, stage-overlap ratio %s, status %s.\n\n",
+			float64(r.rec.DurNs)/1e6, annot(r.rec, "items"), annot(r.rec, "overlap_ratio"), r.rec.Status)
+		fmt.Println("| stage | workers | in | out | busy (ms) | wall (ms) | occupancy | queue peak |")
+		fmt.Println("|---|---|---|---|---|---|---|---|")
+		for _, s := range r.stages {
+			name := s.Name
+			if i := strings.LastIndexByte(name, '/'); i >= 0 {
+				name = name[i+1:]
+			}
+			fmt.Printf("| %s | %s | %s | %s | %s | %s | %s | %s |\n",
+				name, annot(s, "workers"), annot(s, "items_in"), annot(s, "items_out"),
+				annot(s, "busy_ms"), annot(s, "wall_ms"), annot(s, "occupancy"), annot(s, "queue_peak"))
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 // renderMetrics parses a gbench -metrics NDJSON file and renders its

@@ -1,119 +1,46 @@
 // Metagenomics: abundance estimation against a pan-genome.
 //
-// A pan-genome index is built over several synthetic "species"
-// references (the fmi kernel over a concatenated reference, as
-// Centrifuge builds its index); a read mixture with a known species
-// composition is classified by SMEM seeding, and the estimated
-// abundances are compared to the truth.
+// A pan-genome FM-index is built over several synthetic "species"
+// references; a read mixture with a known composition streams through
+// SMEM seeding (fmi kernel) and locate-and-vote classification. The
+// pipeline lives in the scenario registry (internal/scenario,
+// "metagenomics"); this example runs it fused and staged and shows the
+// digests agree.
 //
 // Run: go run ./examples/metagenomics
 package main
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
-	"sort"
+	"os"
 
-	"repro/internal/fmindex"
-	"repro/internal/genome"
-	"repro/internal/readsim"
+	"repro/internal/scenario"
+	"repro/internal/scratch"
 )
 
-type species struct {
-	name       string
-	start, end int // span in the concatenated pan-genome
-}
-
 func main() {
-	rng := rand.New(rand.NewSource(31))
-	names := []string{"e.coli-like", "s.aureus-like", "virus-like", "fungus-like"}
-	sizes := []int{60_000, 45_000, 8_000, 90_000}
-	trueMix := []float64{0.45, 0.30, 0.15, 0.10}
-
-	// Build the pan-genome: concatenated species references.
-	var pan genome.Seq
-	var catalog []species
-	refs := make([]genome.Seq, len(names))
-	for i, n := range names {
-		ref := genome.NewReference(rng, n, sizes[i], 0.05)
-		refs[i] = ref.Seq
-		catalog = append(catalog, species{name: n, start: len(pan), end: len(pan) + sizes[i]})
-		pan = append(pan, ref.Seq...)
+	def := scenario.Get("metagenomics")
+	pipe, err := def.Build(def.Params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	index := fmindex.Build(pan)
-	fmt.Printf("pan-genome: %d species, %d bases, %s\n", len(names), len(pan), index)
+	fmt.Printf("%s: %v\n\n", def.Title, def.Stages)
 
-	// Simulate the read mixture.
-	const totalReads = 600
-	sim := readsim.New(32)
-	cfg := readsim.DefaultLong()
-	cfg.MeanLength = 1200
-	cfg.ErrorRate = 0.08
-	var reads []readWithTruth
-	for i, frac := range trueMix {
-		n := int(frac * totalReads)
-		for _, r := range sim.LongReads(refs[i], -1, n, cfg, names[i]+"-") {
-			reads = append(reads, readWithTruth{seq: r.Seq, truth: i})
-		}
+	opt := scenario.Options{Pool: scratch.NewPool()}
+	staged, err := scenario.RunStaged(context.Background(), def.Name, pipe, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "staged:", err)
+		os.Exit(1)
 	}
-	rng.Shuffle(len(reads), func(i, j int) { reads[i], reads[j] = reads[j], reads[i] })
-	fmt.Printf("classifying %d reads\n", len(reads))
-
-	// Classify: longest SMEM's locations vote for a species.
-	counts := make([]int, len(names))
-	correct, unclassified := 0, 0
-	for _, r := range reads {
-		smems := index.FindSMEMs(r.seq, 25, 1, nil)
-		if len(smems) == 0 {
-			unclassified++
-			continue
-		}
-		sort.Slice(smems, func(i, j int) bool { return smems[i].Len() > smems[j].Len() })
-		votes := make([]int, len(names))
-		for _, m := range smems[:min(3, len(smems))] {
-			for _, pos := range index.LocateAll(r.seq[m.QBeg:m.QEnd], 8) {
-				if pos >= len(pan) {
-					pos = 2*len(pan) - pos - m.Len() // reverse-strand hit
-				}
-				for si, sp := range catalog {
-					if pos >= sp.start && pos < sp.end {
-						votes[si] += m.Len()
-					}
-				}
-			}
-		}
-		best, bestV := -1, 0
-		for si, v := range votes {
-			if v > bestV {
-				best, bestV = si, v
-			}
-		}
-		if best < 0 {
-			unclassified++
-			continue
-		}
-		counts[best]++
-		if best == r.truth {
-			correct++
-		}
+	fused, err := scenario.RunFused(context.Background(), def.Name, pipe, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fused:", err)
+		os.Exit(1)
 	}
-
-	classified := len(reads) - unclassified
-	fmt.Printf("accuracy: %d/%d reads correct, %d unclassified\n\n", correct, classified, unclassified)
-	fmt.Printf("%-15s %-10s %-10s\n", "species", "true", "estimated")
-	for i, n := range names {
-		fmt.Printf("%-15s %-10.2f %-10.2f\n", n, trueMix[i], float64(counts[i])/float64(classified))
-	}
-}
-
-type readWithTruth struct {
-	seq   genome.Seq
-	truth int
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	fmt.Print(fused.Table())
+	fmt.Printf("staged reference: %.1f ms, digest %016x (match: %v)\n\n",
+		float64(staged.Elapsed.Nanoseconds())/1e6, staged.Digest, staged.Digest == fused.Digest)
+	fmt.Println(pipe.Summary(fused.Final))
 }

@@ -1,77 +1,49 @@
 // Methylation detection: the application ABEA serves in Nanopolish.
 //
-// A genome with a known set of methylated CpG sites is "sequenced"
-// through the pore model twice — once methylated, once not — and every
-// CpG site is called by comparing adaptive-banded event-alignment
-// likelihoods under the unmethylated versus 5mC pore models. The
-// example reports per-site accuracy against the planted truth.
+// A CpG-island region is "sequenced" molecule by molecule through the
+// pore model (alternating methylated and unmethylated molecules); each
+// molecule's raw signal streams through event simulation and
+// adaptive-banded event-alignment methylation calling (abea kernel).
+// The pipeline lives in the scenario registry (internal/scenario,
+// "methylation"); this example runs it fused and staged and shows the
+// digests agree.
 //
 // Run: go run ./examples/methylation
 package main
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
+	"os"
 
-	"repro/internal/abea"
-	"repro/internal/genome"
-	"repro/internal/signalsim"
+	"repro/internal/scenario"
+	"repro/internal/scratch"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(41))
-	base := signalsim.NewPoreModel()
-	meth := abea.MethylatedModel(base)
-
-	// A CpG-island-like region: random backbone with CpG sites planted
-	// every ~60 bases.
-	seq := genome.Random(rng, 1200)
-	var cpgSites []int
-	for i := 30; i+1 < len(seq)-30; i += 60 {
-		seq[i], seq[i+1] = genome.C, genome.G
-		cpgSites = append(cpgSites, i)
+	def := scenario.Get("methylation")
+	p := def.Params.Clone()
+	p["molecules"] = 2 // demo scale: one methylated, one unmethylated read
+	pipe, err := def.Build(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	fmt.Printf("region: %d bases, %d planted CpG sites\n", len(seq), len(cpgSites))
+	fmt.Printf("%s: %v\n\n", def.Title, def.Stages)
 
-	simCfg := signalsim.DefaultConfig()
-	simCfg.NoiseScale = 0.6
-	cfg := abea.DefaultConfig()
-	const threshold = 2.0
-
-	// Read 1: fully methylated molecule.
-	evMeth := signalsim.Simulate(rng, meth, seq, simCfg)
-	callsM := abea.CallMethylation(base, meth, seq, evMeth, cfg, threshold)
-	// Read 2: unmethylated molecule.
-	evUn := signalsim.Simulate(rng, base, seq, simCfg)
-	callsU := abea.CallMethylation(base, meth, seq, evUn, cfg, threshold)
-
-	tpM, total := 0, 0
-	var sumLLR float64
-	for _, c := range callsM {
-		total++
-		sumLLR += float64(c.LogLikRatio)
-		if c.Methylated {
-			tpM++
-		}
+	opt := scenario.Options{Pool: scratch.NewPool()}
+	staged, err := scenario.RunStaged(context.Background(), def.Name, pipe, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "staged:", err)
+		os.Exit(1)
 	}
-	fmt.Printf("methylated read:   %d/%d sites called methylated (mean LLR %+.1f)\n",
-		tpM, total, sumLLR/float64(total))
-
-	fpU, totalU := 0, 0
-	sumLLR = 0
-	for _, c := range callsU {
-		totalU++
-		sumLLR += float64(c.LogLikRatio)
-		if c.Methylated {
-			fpU++
-		}
+	fused, err := scenario.RunFused(context.Background(), def.Name, pipe, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fused:", err)
+		os.Exit(1)
 	}
-	fmt.Printf("unmethylated read: %d/%d sites falsely called (mean LLR %+.1f)\n",
-		fpU, totalU, sumLLR/float64(totalU))
-
-	if tpM*2 > total && fpU*4 < totalU {
-		fmt.Println("verdict: event-level methylation signal cleanly separated")
-	} else {
-		fmt.Println("verdict: separation weak — try lowering signal noise")
-	}
+	fmt.Print(fused.Table())
+	fmt.Printf("staged reference: %.1f ms, digest %016x (match: %v)\n\n",
+		float64(staged.Elapsed.Nanoseconds())/1e6, staged.Digest, staged.Digest == fused.Digest)
+	fmt.Println(pipe.Summary(fused.Final))
 }

@@ -1,120 +1,49 @@
 // Variant calling: the GATK-style short-read path.
 //
 // A donor genome with known planted variants is sequenced at 30x
-// coverage; for each active region the reads are re-assembled into a
-// De-Bruijn graph (dbg kernel) to produce candidate haplotypes, each
-// read is scored against each haplotype with the PairHMM (phmm
-// kernel), and genotypes are called from the likelihoods. Recall
-// against the planted truth is reported.
+// coverage; reads stream through region binning, De-Bruijn assembly
+// (dbg kernel), PairHMM scoring (phmm kernel) and genotype calling.
+// The pipeline itself lives in the scenario registry
+// (internal/scenario, "variantcalling"); this example is a thin
+// wrapper that runs it fused (streaming, stage-overlapped) and staged
+// (run-to-completion reference) and shows both agree bit for bit.
 //
 // Run: go run ./examples/variantcalling
 package main
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
+	"os"
 
-	"repro/internal/dbg"
-	"repro/internal/genome"
-	"repro/internal/phmm"
-	"repro/internal/readsim"
-)
-
-const (
-	refLen     = 30_000
-	regionSize = 400
-	coverage   = 30
+	"repro/internal/scenario"
+	"repro/internal/scratch"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(11))
-	ref := genome.NewReference(rng, "chr22", refLen, 0)
-	donor := genome.PlantVariants(rng, ref, 0.0015, 0.0003)
-	fmt.Printf("reference %d bp, donor carries %d variants\n", refLen, len(donor.Variants))
-
-	sim := readsim.New(12)
-	cfg := readsim.DefaultShort()
-	cfg.Length = 100
-	reads := sim.CoverageReads(donor, coverage, cfg, "rd")
-	fmt.Printf("simulated %d reads (~%.0fx coverage)\n", len(reads), float64(coverage))
-
-	// Assign reads to regions by their true sampling position (a real
-	// pipeline uses the aligner; quickstart shows that step).
-	nRegions := refLen / regionSize
-	regionReads := make([][]genome.Seq, nRegions)
-	regionQuals := make([][][]byte, nRegions)
-	for _, r := range reads {
-		rg := r.RefPos / regionSize
-		if rg >= nRegions {
-			rg = nRegions - 1
-		}
-		seq := r.Seq
-		if r.Reverse {
-			seq = seq.ReverseComplement()
-		}
-		regionReads[rg] = append(regionReads[rg], seq)
-		regionQuals[rg] = append(regionQuals[rg], r.Qual)
+	def := scenario.Get("variantcalling")
+	p := def.Params.Clone()
+	p["ref_len"] = 12_000 // demo scale
+	pipe, err := def.Build(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	fmt.Printf("%s: %v\n\n", def.Title, def.Stages)
 
-	assemblyCfg := dbg.DefaultConfig()
-	var calledVariant int
-	var hetCalls, homCalls int
-	calledRegions := map[int]bool{}
-	for rg := 0; rg < nRegions; rg++ {
-		start := rg * regionSize
-		end := start + regionSize
-		if end > refLen {
-			end = refLen
-		}
-		region := &dbg.Region{Ref: ref.Seq[start:end], Reads: regionReads[rg]}
-		asm := dbg.AssembleRegion(region, assemblyCfg)
-		if len(asm.Haplotypes) < 2 {
-			continue // no variant evidence assembled
-		}
-		// Score reads against haplotypes and genotype the region.
-		ph := &phmm.Region{Reads: regionReads[rg], Quals: regionQuals[rg], Haps: asm.Haplotypes}
-		res := phmm.EvaluateRegion(ph)
-		support := make([]int, len(asm.Haplotypes))
-		for _, h := range res.BestHap {
-			support[h]++
-		}
-		// Call the two best-supported haplotypes as the genotype.
-		best, second := -1, -1
-		for h, s := range support {
-			if best < 0 || s > support[best] {
-				second = best
-				best = h
-			} else if second < 0 || s > support[second] {
-				second = h
-			}
-		}
-		refHap := -1
-		for h, hap := range asm.Haplotypes {
-			if hap.Equal(region.Ref) {
-				refHap = h
-			}
-		}
-		altCalled := best != refHap || (second >= 0 && second != refHap && support[second] >= len(ph.Reads)/4)
-		if altCalled {
-			calledVariant++
-			calledRegions[rg] = true
-			if best != refHap && (second == refHap || second < 0) {
-				hetCalls++
-			} else {
-				homCalls++
-			}
-		}
+	opt := scenario.Options{Pool: scratch.NewPool()}
+	staged, err := scenario.RunStaged(context.Background(), def.Name, pipe, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "staged:", err)
+		os.Exit(1)
 	}
-
-	// Recall: how many planted variants fall in a called region?
-	var recovered int
-	for _, v := range donor.Variants {
-		if calledRegions[v.Pos/regionSize] {
-			recovered++
-		}
+	fused, err := scenario.RunFused(context.Background(), def.Name, pipe, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fused:", err)
+		os.Exit(1)
 	}
-	fmt.Printf("assembled %d regions with variant evidence (%d het-like, %d hom-like)\n",
-		calledVariant, hetCalls, homCalls)
-	fmt.Printf("recall: %d/%d planted variants fall in called regions (%.0f%%)\n",
-		recovered, len(donor.Variants), 100*float64(recovered)/float64(len(donor.Variants)))
+	fmt.Print(fused.Table())
+	fmt.Printf("staged reference: %.1f ms, digest %016x (match: %v)\n\n",
+		float64(staged.Elapsed.Nanoseconds())/1e6, staged.Digest, staged.Digest == fused.Digest)
+	fmt.Println(pipe.Summary(fused.Final))
 }

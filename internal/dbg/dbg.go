@@ -342,7 +342,10 @@ func RunKernelCtx(ctx context.Context, regions []*Region, cfg Config, threads in
 		workers[i].stats = perf.NewTaskStats("hash lookups")
 		workers[i].assembler = NewAssembler()
 	}
-	err := parallel.ForEachCtxErr(ctx, len(regions), threads, func(tctx context.Context, w, i int) error {
+	// Region cost skews with repeat content (k-bumps and cycle
+	// retries), so the scheduler is the probed parallel.dispatch choice:
+	// shared counter or work stealing, pure policy either way.
+	err := parallel.ForEachDispatchErr(ctx, len(regions), threads, func(tctx context.Context, w, i int) error {
 		if err := faultinject.Point(tctx); err != nil {
 			return err
 		}

@@ -320,7 +320,10 @@ func RunKernelCtx(ctx context.Context, regions []*Region, threads int) (KernelRe
 		workers[i].stats = perf.NewTaskStats("cell updates")
 		workers[i].scratch = pool.WorkerState(i, func() any { return NewScratch() }).(*Scratch)
 	}
-	err := parallel.ForEachCtxErr(ctx, len(regions), threads, func(tctx context.Context, w, i int) error {
+	// Active-region cost skews with read depth and haplotype count, so
+	// the scheduler is the probed parallel.dispatch choice (shared
+	// counter vs work stealing); results are policy-independent.
+	err := parallel.ForEachDispatchErr(ctx, len(regions), threads, func(tctx context.Context, w, i int) error {
 		if err := faultinject.Point(tctx); err != nil {
 			return err
 		}

@@ -1,0 +1,159 @@
+package scenario
+
+import (
+	"sort"
+
+	"repro/internal/genome"
+	"repro/internal/readsim"
+)
+
+// Shared stage helpers. The region-assignment / read-binning /
+// genotype-support logic used to be copy-pasted across the examples;
+// it lives here once, used by the registered scenarios and re-exported
+// to anything else that bins reads.
+
+// RegionReads is one active region's evidence: the reference slice and
+// the forward-oriented reads (with quals) whose sampling position
+// falls inside it. Regions with no reads are never emitted.
+type RegionReads struct {
+	Index      int // region ordinal along the reference
+	Start, End int // half-open span on the reference
+	Ref        genome.Seq
+	Reads      []genome.Seq
+	Quals      [][]byte
+}
+
+// AssignRegion maps a read's start position to its region index,
+// clamping the reference tail into the last region — the binning rule
+// every variant-calling example used.
+func AssignRegion(pos, refLen, regionSize int) int {
+	n := refLen / regionSize
+	if n < 1 {
+		n = 1
+	}
+	rg := pos / regionSize
+	if rg >= n {
+		rg = n - 1
+	}
+	if rg < 0 {
+		rg = 0
+	}
+	return rg
+}
+
+// OrientRead returns the read sequence on the forward strand.
+func OrientRead(r readsim.Read) genome.Seq {
+	if r.Reverse {
+		return r.Seq.ReverseComplement()
+	}
+	return r.Seq
+}
+
+// SortReadsByPos orders reads by sampling position (stable, so
+// same-position reads keep simulation order) — the precondition for
+// streaming region binning.
+func SortReadsByPos(reads []readsim.Read) {
+	sort.SliceStable(reads, func(i, j int) bool { return reads[i].RefPos < reads[j].RefPos })
+}
+
+// RegionBinner turns a position-sorted read stream into completed
+// RegionReads: because input positions never decrease, every region
+// before the current read's region is finished and can be emitted
+// immediately — the streaming form of the examples' two-pass binning
+// loop. Single-threaded by construction (it is a Flush stage).
+type RegionBinner struct {
+	Ref        genome.Seq
+	RegionSize int
+
+	cur  int // region index the open window belongs to
+	open *RegionReads
+}
+
+// NewRegionBinner returns a binner over ref with the given region
+// width.
+func NewRegionBinner(ref genome.Seq, regionSize int) *RegionBinner {
+	return &RegionBinner{Ref: ref, RegionSize: regionSize, cur: -1}
+}
+
+func (b *RegionBinner) region(idx int) *RegionReads {
+	start := idx * b.RegionSize
+	end := start + b.RegionSize
+	if idx == len(b.Ref)/b.RegionSize-1 || end > len(b.Ref) {
+		end = len(b.Ref) // last region absorbs the tail
+	}
+	return &RegionReads{Index: idx, Start: start, End: end, Ref: b.Ref[start:end]}
+}
+
+// Add accepts the next read (positions must be non-decreasing) and
+// returns any regions completed by its arrival, in order.
+func (b *RegionBinner) Add(r readsim.Read) []*RegionReads {
+	rg := AssignRegion(r.RefPos, len(b.Ref), b.RegionSize)
+	var done []*RegionReads
+	if b.open != nil && rg != b.cur {
+		done = append(done, b.open)
+		b.open = nil
+	}
+	if b.open == nil {
+		b.cur = rg
+		b.open = b.region(rg)
+	}
+	b.open.Reads = append(b.open.Reads, OrientRead(r))
+	b.open.Quals = append(b.open.Quals, r.Qual)
+	return done
+}
+
+// Flush emits the final open region once the read stream ends.
+func (b *RegionBinner) Flush() []*RegionReads {
+	if b.open == nil {
+		return nil
+	}
+	done := []*RegionReads{b.open}
+	b.open = nil
+	return done
+}
+
+// Genotype is one region's call: which haplotypes the reads support
+// and whether that implies a variant — the support-counting logic the
+// variantcalling example inlined.
+type Genotype struct {
+	Region    int
+	Start     int
+	Best      int // most-supported haplotype
+	Second    int // runner-up, -1 when absent
+	RefHap    int // haplotype equal to the reference slice, -1 when absent
+	Support   []int
+	Reads     int
+	AltCalled bool
+	Het       bool
+}
+
+// CallGenotype tallies per-read best-haplotype support and calls the
+// region's genotype: an alt call when the best-supported haplotype is
+// not the reference, or when a well-supported runner-up differs from
+// it (the heterozygous case).
+func CallGenotype(region, start int, ref genome.Seq, haps []genome.Seq, bestHap []int) Genotype {
+	g := Genotype{Region: region, Start: start, Best: -1, Second: -1, RefHap: -1,
+		Support: make([]int, len(haps)), Reads: len(bestHap)}
+	for _, h := range bestHap {
+		g.Support[h]++
+	}
+	for h, s := range g.Support {
+		if g.Best < 0 || s > g.Support[g.Best] {
+			g.Second = g.Best
+			g.Best = h
+		} else if g.Second < 0 || s > g.Support[g.Second] {
+			g.Second = h
+		}
+	}
+	for h, hap := range haps {
+		if hap.Equal(ref) {
+			g.RefHap = h
+		}
+	}
+	g.AltCalled = g.Best != g.RefHap ||
+		(g.Second >= 0 && g.Second != g.RefHap && g.Support[g.Second] >= g.Reads/4)
+	if g.AltCalled {
+		g.Het = g.Best != g.RefHap && (g.Second == g.RefHap || g.Second < 0)
+	}
+	return g
+}

@@ -1,0 +1,22 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders the run's per-stage accounting as a fixed-width text
+// table — the shared rendering the example binaries and CLIs print.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %7s %8s %8s %9s %9s %5s %5s\n",
+		"stage", "workers", "in", "out", "busy(ms)", "wall(ms)", "occ", "qpeak")
+	for _, ss := range r.Stages {
+		fmt.Fprintf(&b, "%-10s %7d %8d %8d %9.1f %9.1f %5.2f %5d\n",
+			ss.Name, ss.Workers, ss.In, ss.Out,
+			float64(ss.BusyNs)/1e6, float64(ss.WallNs)/1e6, ss.Occupancy, ss.QueuePeak)
+	}
+	fmt.Fprintf(&b, "%s: %d outputs in %.1f ms, stage-overlap ratio %.2f, digest %016x\n",
+		r.Mode, len(r.Final), float64(r.Elapsed.Nanoseconds())/1e6, r.Overlap, r.Digest)
+	return b.String()
+}
